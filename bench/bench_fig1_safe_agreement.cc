@@ -1,0 +1,63 @@
+// FIG1 — the safe_agreement object (Figure 1).
+//
+// Measures one full propose+decide round among N simulators (free mode,
+// real threads) and the pure object-operation cost in a single-process
+// run. The paper gives the algorithm; the series here characterizes its
+// cost profile on the snapshot substrate.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/safe_agreement.h"
+
+namespace {
+
+using namespace mpcn;
+using namespace mpcn::benchutil;
+
+void BM_SafeAgreementRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto sa = std::make_shared<SafeAgreement>(n);
+    std::vector<Program> p;
+    for (int i = 0; i < n; ++i) {
+      p.push_back([sa](ProcessContext& ctx) {
+        sa->propose(ctx, ctx.input());
+        ctx.decide(sa->decide(ctx));
+      });
+    }
+    Outcome out = run_execution(std::move(p), int_inputs(n), free_mode());
+    if (out.timed_out) state.SkipWithError("timed out");
+  }
+  state.counters["simulators"] = n;
+}
+BENCHMARK(BM_SafeAgreementRound)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SafeAgreementSoloPropose(benchmark::State& state) {
+  // Single proposer: the 3-step propose plus 1-snapshot decide, measured
+  // per operation pair inside one long-running execution.
+  const int rounds_per_run = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::shared_ptr<SafeAgreement>> objs;
+    objs.reserve(rounds_per_run);
+    for (int r = 0; r < rounds_per_run; ++r) {
+      objs.push_back(std::make_shared<SafeAgreement>(1));
+    }
+    state.ResumeTiming();
+    std::vector<Program> p{[&objs](ProcessContext& ctx) {
+      for (auto& sa : objs) {
+        sa->propose(ctx, Value(1));
+        benchmark::DoNotOptimize(sa->decide(ctx));
+      }
+      ctx.decide(Value(0));
+    }};
+    run_execution(std::move(p), int_inputs(1), free_mode());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds_per_run);
+}
+BENCHMARK(BM_SafeAgreementSoloPropose)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// FIG4 — sim_x_cons_propose (Figure 4).
+//
+// Source algorithms whose processes resolve one shared x-consensus object
+// (single_object_consensus), simulated in the read/write model — the
+// Section 3 path where XSAFE_AG[a] is one extra safe-agreement object.
+// Series over the source object's port count x.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/bg_engine.h"
+#include "src/core/pipeline.h"
+#include "src/tasks/algorithms.h"
+
+namespace {
+
+using namespace mpcn;
+using namespace mpcn::benchutil;
+
+void BM_SimXConsPropose(benchmark::State& state) {
+  const int x = static_cast<int>(state.range(0));
+  const int n_simulators = 8;
+  for (auto _ : state) {
+    // Source ASM(x, 1, x): x processes resolve one x-ported object. Its
+    // power is ⌊1/x⌋ = 0 (x >= 2), so the failure-free read/write target
+    // is legal.
+    SimulatedAlgorithm a = single_object_consensus_algorithm(x, 1, x);
+    Outcome out = run_simulated(a, ModelSpec{n_simulators, 0, 1},
+                                int_inputs(n_simulators), free_mode());
+    if (out.timed_out) state.SkipWithError("timed out");
+  }
+  state.counters["x"] = x;
+  state.counters["simulators"] = n_simulators;
+}
+BENCHMARK(BM_SimXConsPropose)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// FIG5 — x_compete (Figure 5).
+//
+// Owner election latency: `contenders` processes race over an XCompete of
+// width x. Series over (x, contenders); the counters report winners per
+// round (must equal min(x, contenders)).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench/bench_util.h"
+#include "src/core/x_compete.h"
+
+namespace {
+
+using namespace mpcn;
+using namespace mpcn::benchutil;
+
+void BM_XCompete(benchmark::State& state) {
+  const int x = static_cast<int>(state.range(0));
+  const int contenders = static_cast<int>(state.range(1));
+  std::int64_t winners_total = 0;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    auto xc = std::make_shared<XCompete>(x);
+    auto winners = std::make_shared<std::atomic<int>>(0);
+    std::vector<Program> p;
+    for (int i = 0; i < contenders; ++i) {
+      p.push_back([xc, winners](ProcessContext& ctx) {
+        if (xc->compete(ctx)) winners->fetch_add(1);
+        ctx.decide(Value(0));
+      });
+    }
+    run_execution(std::move(p), int_inputs(contenders), free_mode());
+    winners_total += winners->load();
+    ++rounds;
+  }
+  state.counters["x"] = x;
+  state.counters["contenders"] = contenders;
+  state.counters["winners_avg"] =
+      rounds ? static_cast<double>(winners_total) / static_cast<double>(rounds)
+             : 0.0;
+}
+BENCHMARK(BM_XCompete)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({4, 4})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({8, 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// FIG6 — x_safe_agreement (Figure 6).
+//
+// One propose+decide round among N simulators for varying (N, x). The
+// owners scan the m = C(N, x) SET_LIST; the `xcons_created` counter
+// exposes the lazy-materialization footprint (at most x * C(N-1, x-1)),
+// which is the cost knob Section 4.3 trades for dynamic ownership.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/x_safe_agreement.h"
+
+namespace {
+
+using namespace mpcn;
+using namespace mpcn::benchutil;
+
+void BM_XSafeAgreementRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int x = static_cast<int>(state.range(1));
+  std::int64_t created_total = 0;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    auto xsa = std::make_shared<XSafeAgreement>(n, x);
+    std::vector<Program> p;
+    for (int i = 0; i < n; ++i) {
+      p.push_back([xsa](ProcessContext& ctx) {
+        xsa->propose(ctx, ctx.input());
+        ctx.decide(xsa->decide(ctx));
+      });
+    }
+    Outcome out = run_execution(std::move(p), int_inputs(n), free_mode());
+    if (out.timed_out) state.SkipWithError("timed out");
+    created_total += xsa->consensus_objects_created();
+    ++rounds;
+  }
+  state.counters["N"] = n;
+  state.counters["x"] = x;
+  state.counters["set_list_m"] = static_cast<double>(binomial(n, x));
+  state.counters["xcons_created_avg"] =
+      rounds ? static_cast<double>(created_total) / static_cast<double>(rounds)
+             : 0.0;
+}
+BENCHMARK(BM_XSafeAgreementRound)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({6, 2})
+    ->Args({6, 3})
+    ->Args({8, 2})
+    ->Args({8, 3})
+    ->Args({8, 4})
+    ->Args({10, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// FIG8 — the colored-task simulation (Section 5.5 / Figure 8).
+//
+// One colored run: n simulated processes with unique static names,
+// simulated by n' simulators over x'-safe agreements, decisions claimed
+// through T&S[1..n]. Series over (n', x'); the counter reports claimed
+// distinct simulated processes per round (must equal the number of
+// deciding simulators).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/core/colored_engine.h"
+#include "src/tasks/algorithms.h"
+
+namespace {
+
+using namespace mpcn;
+using namespace mpcn::benchutil;
+
+void BM_ColoredSimulation(benchmark::State& state) {
+  const int n_tgt = static_cast<int>(state.range(0));
+  const int x_tgt = static_cast<int>(state.range(1));
+  const int t_tgt = 1;
+  // Source: power parity (t = t', x = x'), sized per Section 5.5:
+  // n >= max(n', (n'-t') + t), with one extra for slack.
+  const int n_src = std::max(n_tgt, (n_tgt - t_tgt) + t_tgt) + 1;
+  std::int64_t distinct_total = 0, rounds = 0;
+  for (auto _ : state) {
+    SimulatedAlgorithm a = identity_colored_algorithm(n_src, t_tgt, x_tgt);
+    SimulationPlan plan =
+        make_colored_simulation(a, ModelSpec{n_tgt, t_tgt, x_tgt});
+    Outcome out = run_execution(std::move(plan.programs), int_inputs(n_tgt),
+                                free_mode());
+    if (out.timed_out) state.SkipWithError("timed out");
+    std::set<Value> claims;
+    for (const auto& d : out.decisions) {
+      if (d) claims.insert(d->at(0));
+    }
+    distinct_total += static_cast<std::int64_t>(claims.size());
+    ++rounds;
+  }
+  state.counters["n_tgt"] = n_tgt;
+  state.counters["x_tgt"] = x_tgt;
+  state.counters["distinct_claims_avg"] =
+      rounds ? static_cast<double>(distinct_total) /
+                   static_cast<double>(rounds)
+             : 0.0;
+}
+BENCHMARK(BM_ColoredSimulation)
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// ABL-1 — snapshot substrate ablation.
+//
+// The same write+snapshot workload over the three SnapshotObject
+// implementations: the one-step model primitive, the wait-free Afek
+// construction (register steps, helping), and the blocking rwlock
+// baseline. The Afek column is the price of wait-freedom from registers;
+// the paper's simulations assume the primitive.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/snapshot/afek_snapshot.h"
+#include "src/snapshot/primitive_snapshot.h"
+#include "src/snapshot/seqlock_snapshot.h"
+
+namespace {
+
+using namespace mpcn;
+using namespace mpcn::benchutil;
+
+enum class Kind { kPrimitive, kAfek, kRwLock };
+
+std::shared_ptr<SnapshotObject> make_snapshot(Kind kind, int width) {
+  switch (kind) {
+    case Kind::kPrimitive:
+      return std::make_shared<PrimitiveSnapshot>(width, false);
+    case Kind::kAfek:
+      return std::make_shared<AfekSnapshot>(width, false);
+    case Kind::kRwLock:
+      return std::make_shared<RwLockSnapshot>(width, false);
+  }
+  return nullptr;
+}
+
+void run_workload(benchmark::State& state, Kind kind) {
+  const int writers = static_cast<int>(state.range(0));
+  const int rounds = 50;
+  for (auto _ : state) {
+    auto snap = make_snapshot(kind, writers);
+    std::vector<Program> p;
+    for (int w = 0; w < writers; ++w) {
+      p.push_back([snap, w, rounds](ProcessContext& ctx) {
+        for (int r = 0; r < rounds; ++r) {
+          snap->write(ctx, w, Value(r));
+          benchmark::DoNotOptimize(snap->snapshot(ctx));
+        }
+        ctx.decide(Value(0));
+      });
+    }
+    Outcome out =
+        run_execution(std::move(p), int_inputs(writers), free_mode());
+    if (out.timed_out) state.SkipWithError("timed out");
+  }
+  state.SetItemsProcessed(state.iterations() * writers * rounds * 2);
+  state.counters["writers"] = writers;
+}
+
+void BM_PrimitiveSnapshot(benchmark::State& state) {
+  run_workload(state, Kind::kPrimitive);
+}
+void BM_AfekSnapshot(benchmark::State& state) {
+  run_workload(state, Kind::kAfek);
+}
+void BM_RwLockSnapshot(benchmark::State& state) {
+  run_workload(state, Kind::kRwLock);
+}
+
+BENCHMARK(BM_PrimitiveSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AfekSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RwLockSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

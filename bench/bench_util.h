@@ -1,0 +1,35 @@
+// Shared helpers for the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/runtime/execution.h"
+
+namespace mpcn::benchutil {
+
+inline ExecutionOptions free_mode(std::uint64_t step_limit = 50'000'000) {
+  ExecutionOptions o;
+  o.mode = SchedulerMode::kFree;
+  o.step_limit = step_limit;
+  return o;
+}
+
+inline ExecutionOptions lockstep(std::uint64_t seed,
+                                 std::uint64_t step_limit = 2'000'000) {
+  ExecutionOptions o;
+  o.mode = SchedulerMode::kLockstep;
+  o.seed = seed;
+  o.step_limit = step_limit;
+  return o;
+}
+
+inline std::vector<Value> int_inputs(int n, int base = 0) {
+  std::vector<Value> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(Value(base + i));
+  return v;
+}
+
+}  // namespace mpcn::benchutil

@@ -1,0 +1,64 @@
+// Equivalence explorer: the Section 5.4 class structure, interactively.
+//
+// Prints, for a given failure bound t' and system size n, the partition
+// of the models ASM(n, t', x), x = 1..n, into computability classes, the
+// canonical representative of each class, and the multiplicative-power
+// windows t' in [t*x, t*x + x - 1].
+//
+// Usage:   ./build/examples/equivalence_explorer [t_prime] [n]
+// Default: t' = 8, n = 12 (the paper's worked example).
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/models.h"
+
+using namespace mpcn;
+
+int main(int argc, char** argv) {
+  const int t_prime = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 12;
+  if (t_prime < 1 || n <= t_prime) {
+    std::fprintf(stderr, "need 1 <= t' < n (got t'=%d, n=%d)\n", t_prime, n);
+    return 1;
+  }
+
+  std::printf("Equivalence classes of ASM(%d, %d, x), x = 1..%d\n", n,
+              t_prime, n);
+  std::printf("(Section 5.4: all models with the same floor(t'/x) have the "
+              "same power)\n\n");
+  std::printf("%-9s %-14s %-14s %-22s\n", "power", "x range", "canonical",
+              "solvable k-set tasks");
+  for (const EquivalenceClass& c : classes_for_t(n, t_prime)) {
+    char range[32];
+    if (c.x_lo == c.x_hi) {
+      std::snprintf(range, sizeof(range), "x = %d", c.x_lo);
+    } else {
+      std::snprintf(range, sizeof(range), "%d <= x <= %d", c.x_lo, c.x_hi);
+    }
+    std::printf("%-9d %-14s %-14s k >= %d\n", c.power, range,
+                c.canonical.to_string().c_str(), c.power + 1);
+  }
+
+  std::printf("\nMultiplicative-power windows (ASM(n,t',x) ~ ASM(n,t,1) iff "
+              "t' in [t*x, t*x+x-1]):\n");
+  for (int x = 2; x <= std::min(n, 6); ++x) {
+    const int t = t_prime / x;
+    const TWindow w = equivalent_t_window(t, x);
+    std::printf("  x = %d: ASM(n,t',%d) ~ ASM(n,%d,1) for t' in [%d, %d]"
+                "%s\n",
+                x, x, t, w.lo, w.hi,
+                (t_prime >= w.lo && t_prime <= w.hi) ? "   <- includes t'"
+                                                     : "");
+  }
+
+  std::printf("\nHierarchy consequences for t' = %d:\n", t_prime);
+  std::printf("  consensus (k=1) solvable iff x > %d\n", t_prime);
+  for (int k = 2; k <= 4; ++k) {
+    // smallest x with floor(t'/x) < k  <=>  x >= t'/k + 1
+    int x_min = t_prime / k + 1;
+    if (x_min <= n) {
+      std::printf("  %d-set agreement solvable iff x >= %d\n", k, x_min);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "src/common/rng.h"
+
+namespace mpcn {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  return d(engine_);
+}
+
+int Rng::range(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+std::uint64_t Rng::fork() {
+  std::uniform_int_distribution<std::uint64_t> d;
+  return d(engine_);
+}
+
+}  // namespace mpcn

@@ -1,0 +1,38 @@
+// Seeded RNG utilities. All nondeterminism in deterministic-mode runs is
+// derived from one user-supplied seed so that every schedule is replayable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mpcn {
+
+// SplitMix64: used to derive independent stream seeds from a master seed.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, n). n must be > 0.
+  std::size_t index(std::size_t n);
+  // Uniform in [lo, hi] inclusive.
+  int range(int lo, int hi);
+  // Bernoulli with probability p.
+  bool chance(double p);
+  // Derive a child seed (stable given call order).
+  std::uint64_t fork();
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,75 @@
+#include "src/common/value.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace mpcn {
+
+namespace {
+
+int kind_rank(const Value& v) {
+  if (v.is_nil()) return 0;
+  if (v.is_int()) return 1;
+  if (v.is_string()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+bool Value::operator<(const Value& o) const {
+  const int a = kind_rank(*this);
+  const int b = kind_rank(o);
+  if (a != b) return a < b;
+  switch (a) {
+    case 0:
+      return false;  // nil == nil
+    case 1:
+      return as_int() < o.as_int();
+    case 2:
+      return as_string() < o.as_string();
+    default: {
+      const List& l = as_list();
+      const List& r = o.as_list();
+      return std::lexicographical_compare(l.begin(), l.end(), r.begin(),
+                                          r.end());
+    }
+  }
+}
+
+std::size_t Value::hash() const {
+  // FNV-style structural mix; quality is sufficient for container use.
+  std::size_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::size_t>(kind_rank(*this)));
+  if (is_int()) {
+    mix(std::hash<std::int64_t>{}(as_int()));
+  } else if (is_string()) {
+    mix(std::hash<std::string>{}(as_string()));
+  } else if (is_list()) {
+    for (const Value& v : as_list()) mix(v.hash());
+  }
+  return h;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  if (v.is_nil()) return os << "nil";
+  if (v.is_int()) return os << v.as_int();
+  if (v.is_string()) return os << '"' << v.as_string() << '"';
+  os << '[';
+  const Value::List& l = v.as_list();
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (i) os << ", ";
+    os << l[i];
+  }
+  return os << ']';
+}
+
+}  // namespace mpcn

@@ -1,0 +1,89 @@
+// Value: the universal datum flowing through every shared object in the
+// library (registers, snapshots, consensus objects, task inputs/outputs).
+//
+// The paper's algorithms move opaque values between processes; a single
+// concrete recursive value type keeps the whole stack template-free across
+// module boundaries. A Value is one of:
+//   - nil (the paper's bottom, written as ⊥ in Figures 1-6),
+//   - a 64-bit integer,
+//   - a string,
+//   - a list of Values (used for snapshot views and (value, seq) pairs).
+//
+// Values are immutable in spirit: all algorithm code treats them as
+// copy-on-write payloads. Equality, ordering and hashing are structural.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mpcn {
+
+class Value {
+ public:
+  using List = std::vector<Value>;
+
+  // nil (⊥)
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT: implicit nil from nullptr reads well
+  Value(int v) : rep_(static_cast<std::int64_t>(v)) {}    // NOLINT
+  Value(std::int64_t v) : rep_(v) {}                      // NOLINT
+  Value(std::size_t v) : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}          // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}            // NOLINT
+  Value(List l) : rep_(std::move(l)) {}                   // NOLINT
+
+  static Value nil() { return Value(); }
+  static Value list(std::initializer_list<Value> items) {
+    return Value(List(items));
+  }
+  // A (value, sequence-number) pair, as used by MEM entries (Fig 2/3).
+  static Value pair(Value a, Value b) {
+    List l;
+    l.reserve(2);
+    l.push_back(std::move(a));
+    l.push_back(std::move(b));
+    return Value(std::move(l));
+  }
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_list() const { return std::holds_alternative<List>(rep_); }
+
+  // Accessors check the active alternative and throw std::bad_variant_access
+  // on misuse: algorithm bugs surface loudly rather than as garbage values.
+  std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  const List& as_list() const { return std::get<List>(rep_); }
+  List& as_list() { return std::get<List>(rep_); }
+
+  // Convenience for list values: size / element access with bounds checks.
+  std::size_t size() const { return as_list().size(); }
+  const Value& at(std::size_t i) const { return as_list().at(i); }
+  Value& at(std::size_t i) { return as_list().at(i); }
+
+  bool operator==(const Value& o) const { return rep_ == o.rep_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  // Total order: nil < int < string < list; within a kind, natural order.
+  bool operator<(const Value& o) const;
+
+  std::size_t hash() const;
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, std::string, List> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace mpcn
+
+template <>
+struct std::hash<mpcn::Value> {
+  std::size_t operator()(const mpcn::Value& v) const { return v.hash(); }
+};

@@ -1,0 +1,420 @@
+#include "src/core/bg_engine.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+#include "src/core/engine_internal.h"
+#include "src/snapshot/afek_snapshot.h"
+#include "src/snapshot/primitive_snapshot.h"
+
+namespace mpcn {
+
+void SimulatedAlgorithm::validate() const {
+  model.validate();
+  if (programs.empty() || static_cast<int>(programs.size()) != model.n) {
+    throw ProtocolError("SimulatedAlgorithm: need one program per process");
+  }
+  std::set<std::string> names;
+  for (const XConsDecl& d : xcons) {
+    if (!names.insert(d.name).second) {
+      throw ProtocolError("SimulatedAlgorithm: duplicate x_cons name " +
+                          d.name);
+    }
+    if (d.ports.empty() ||
+        static_cast<int>(d.ports.size()) > model.x) {
+      throw ProtocolError(
+          "SimulatedAlgorithm: x_cons '" + d.name +
+          "' must have 1..x ports (model x = " + std::to_string(model.x) +
+          ")");
+    }
+    for (int p : d.ports) {
+      if (p < 0 || p >= model.n) {
+        throw ProtocolError("SimulatedAlgorithm: x_cons port out of range");
+      }
+    }
+  }
+  if (static_inputs &&
+      static_inputs->size() != static_cast<std::size_t>(model.n)) {
+    throw ProtocolError("SimulatedAlgorithm: static_inputs size mismatch");
+  }
+}
+
+namespace internal {
+
+namespace {
+
+std::shared_ptr<SnapshotObject> make_mem(MemKind kind, int width) {
+  if (kind == MemKind::kAfek) {
+    return std::make_shared<AfekSnapshot>(width, /*check_ownership=*/true);
+  }
+  return std::make_shared<PrimitiveSnapshot>(width,
+                                             /*check_ownership=*/true);
+}
+
+}  // namespace
+
+EngineShared::EngineShared(SimulatedAlgorithm algo_in, ModelSpec target_in,
+                           MemKind mem_kind)
+    : algo(std::move(algo_in)),
+      target(target_in),
+      mem(make_mem(mem_kind, target_in.n)),
+      world(std::make_shared<SharedWorld>()) {}
+
+std::shared_ptr<AgreementObject> EngineShared::agreement(
+    const std::string& key) {
+  const int width = target.n;
+  const int x = target.x;
+  return world->get_or_create<AgreementObject>(
+      key, [width, x, key] { return make_agreement(width, x, key); });
+}
+
+const XConsDecl& EngineShared::xcons_decl(const std::string& name) const {
+  for (const XConsDecl& d : algo.xcons) {
+    if (d.name == name) return d;
+  }
+  throw ProtocolError("undeclared x_cons object: " + name);
+}
+
+// ------------------------------------------------------------------------
+// The simulated-process-facing API adapter.
+
+class EngineSimContext : public SimContext {
+ public:
+  EngineSimContext(EngineSimulator* sim, int j, ProcessContext& cctx,
+                   Value agreed_input)
+      : sim_(sim), j_(j), cctx_(cctx), input_(std::move(agreed_input)) {}
+
+  int id() const override { return j_; }
+  int n() const override { return sim_->n_sim(); }
+  Value input() const override { return input_; }
+
+  void write(const Value& v) override { sim_->sim_write(cctx_, j_, v); }
+
+  std::vector<Value> snapshot() override {
+    return sim_->sim_snapshot(cctx_, j_);
+  }
+
+  Value x_cons_propose(const std::string& name, const Value& v) override {
+    // Model discipline of the *simulated* object: only declared ports, at
+    // most once per port (one-shot).
+    if (!proposed_.insert(name).second) {
+      throw ProtocolError("simulated p" + std::to_string(j_) +
+                          " proposed twice to x_cons " + name);
+    }
+    return sim_->sim_x_cons_propose(cctx_, j_, name, v);
+  }
+
+  void decide(const Value& v) override {
+    sim_->record_simulated_decision(cctx_, j_, v);
+  }
+  bool has_decided() const override {
+    return sim_->simulated_has_decided(j_);
+  }
+
+ private:
+  EngineSimulator* sim_;
+  const int j_;
+  ProcessContext& cctx_;
+  Value input_;
+  std::set<std::string> proposed_;
+};
+
+// ------------------------------------------------------------------------
+// EngineSimulator
+
+EngineSimulator::EngineSimulator(std::shared_ptr<EngineShared> shared, int i)
+    : shared_(std::move(shared)),
+      i_(i),
+      memi_(static_cast<std::size_t>(shared_->n_sim()),
+            {Value::nil(), 0}),
+      snap_sn_(static_cast<std::size_t>(shared_->n_sim()), 0),
+      sim_decisions_(static_cast<std::size_t>(shared_->n_sim())) {}
+
+Value EngineSimulator::memi_payload_locked() const {
+  Value::List out;
+  out.reserve(memi_.size());
+  for (const auto& [v, sn] : memi_) {
+    out.push_back(Value::pair(v, Value(sn)));
+  }
+  return Value(std::move(out));
+}
+
+// Figure 2:
+//   (01) w_sn_i[j] <- w_sn_i[j] + 1
+//   (02) mem_i[j] <- (v, w_sn_i[j])
+//   (03) MEM[i] <- mem_i
+void EngineSimulator::sim_write(ProcessContext& cctx, int j, const Value& v) {
+  Value payload;
+  {
+    std::lock_guard<std::mutex> lk(local_m_);
+    auto& cell = memi_[static_cast<std::size_t>(j)];
+    cell = {v, cell.second + 1};
+    payload = memi_payload_locked();
+  }
+  shared_->mem->write(cctx, i_, payload);
+}
+
+// Figure 3:
+//   (01) sm_i <- MEM.snapshot()
+//   (02-03) input_i[y] <- value written by the most advanced simulator
+//   (04) snapsn <- ++snap_sn_i[j]
+//   (05) enter mutex1; SAFE_AG[j,snapsn].propose(input_i); exit mutex1
+//   (06) res <- SAFE_AG[j,snapsn].decide()
+//   (07) return res
+std::vector<Value> EngineSimulator::sim_snapshot(ProcessContext& cctx, int j) {
+  const int n = shared_->n_sim();
+  const std::vector<Value> sm = shared_->mem->snapshot(cctx);  // (01)
+
+  Value::List input(static_cast<std::size_t>(n));  // (02-03)
+  std::vector<std::int64_t> best_sn(static_cast<std::size_t>(n), -1);
+  for (const Value& entry : sm) {
+    if (entry.is_nil()) continue;  // simulator with no writes yet
+    for (int y = 0; y < n; ++y) {
+      const Value& cell = entry.at(static_cast<std::size_t>(y));
+      const std::int64_t sn = cell.at(1).as_int();
+      if (sn > best_sn[static_cast<std::size_t>(y)]) {
+        best_sn[static_cast<std::size_t>(y)] = sn;
+        input[static_cast<std::size_t>(y)] = cell.at(0);
+      }
+    }
+  }
+
+  const std::int64_t snapsn = ++snap_sn_[static_cast<std::size_t>(j)];  // (04)
+  const std::string key =
+      "AG/" + std::to_string(j) + "/" + std::to_string(snapsn);
+  auto ag = shared_->agreement(key);
+  {
+    // (05) — one agreement propose at a time per simulator (mutex1), so a
+    // simulator crash blocks at most one agreement object (Lemma 1/7).
+    enter_propose_section(cctx, key);
+    struct SectionGuard {
+      EngineSimulator* s;
+      ~SectionGuard() { s->exit_propose_section(); }
+    } sg{this};
+    CoopLock l1(mutex1_, cctx);
+    arm_propose_trap(cctx, key);
+    ag->propose(cctx, Value(std::move(input)));
+  }
+  const Value res = ag->decide(cctx);  // (06)
+  const Value::List& out = res.as_list();
+  return std::vector<Value>(out.begin(), out.end());  // (07)
+}
+
+EngineSimulator::XObjectState& EngineSimulator::xobject(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lk(xobjects_m_);
+  auto it = xobjects_.find(name);
+  if (it == xobjects_.end()) {
+    it = xobjects_.emplace(name, std::make_unique<XObjectState>()).first;
+  }
+  return *it->second;
+}
+
+// Figure 4 (and Figure 8, which is the same text over x'-safe agreement):
+//   (01) enter mutex2[a]
+//   (02) if xres_i[a] = ⊥ then enter mutex1; XAG[a].propose(v); exit mutex1
+//   (03)   xres_i[a] <- XAG[a].decide()
+//   (04) end if
+//   (05) exit mutex2[a]
+//   (06) return xres_i[a]
+// mutex2 is per simulated object — see engine_internal.h for why the
+// paper's single shared mutex2 would over-block.
+Value EngineSimulator::sim_x_cons_propose(ProcessContext& cctx, int j,
+                                          const std::string& name,
+                                          const Value& v) {
+  const XConsDecl& decl = shared_->xcons_decl(name);
+  if (!decl.ports.count(j)) {
+    throw ProtocolError("simulated p" + std::to_string(j) +
+                        " is not a port of x_cons " + name);
+  }
+  XObjectState& obj = xobject(name);
+  CoopLock l2(obj.mutex, cctx);  // (01)/(05)
+  if (!obj.result.has_value()) {  // (02)
+    const std::string key = "XAG/" + name;
+    auto ag = shared_->agreement(key);
+    {
+      enter_propose_section(cctx, key);
+      struct SectionGuard {
+        EngineSimulator* s;
+        ~SectionGuard() { s->exit_propose_section(); }
+      } sg{this};
+      CoopLock l1(mutex1_, cctx);
+      arm_propose_trap(cctx, key);
+      ag->propose(cctx, v);
+    }
+    obj.result = ag->decide(cctx);  // (03)
+  }
+  return *obj.result;  // (06)
+}
+
+void EngineSimulator::record_simulated_decision(ProcessContext& cctx, int j,
+                                                const Value& v) {
+  auto g = cctx.step();  // fix the visibility point in the schedule
+  std::lock_guard<std::mutex> lk(decisions_m_);
+  auto& slot = sim_decisions_[static_cast<std::size_t>(j)];
+  if (!slot.has_value()) {
+    slot = v;
+    decision_order_.push_back(j);
+  }
+}
+
+bool EngineSimulator::simulated_has_decided(int j) const {
+  std::lock_guard<std::mutex> lk(decisions_m_);
+  return sim_decisions_[static_cast<std::size_t>(j)].has_value();
+}
+
+void EngineSimulator::child_body(ProcessContext& cctx, int j) {
+  // Park once before touching anything shared. At startup every thread
+  // runs natively until its first step; without this barrier the first
+  // mutex1 acquisitions (and trap armings) of sibling threads would race
+  // the OS scheduler instead of following the lock-step schedule. After
+  // this step, a thread's native windows are exclusive (no grant can
+  // fire while it is alive and unparked), so all subsequent lock-free
+  // preamble work is schedule-ordered.
+  cctx.yield();
+  // Agree on p_j's input. Colorless: every simulator proposes its own
+  // input; the agreement object makes the choice common. Colored: the
+  // inputs are statically fixed by the task instance.
+  Value agreed;
+  if (shared_->algo.static_inputs) {
+    agreed = (*shared_->algo.static_inputs)[static_cast<std::size_t>(j)];
+  } else {
+    const std::string key = "INPUT/" + std::to_string(j);
+    auto ag = shared_->agreement(key);
+    {
+      enter_propose_section(cctx, key);
+      struct SectionGuard {
+        EngineSimulator* s;
+        ~SectionGuard() { s->exit_propose_section(); }
+      } sg{this};
+      CoopLock l1(mutex1_, cctx);
+      arm_propose_trap(cctx, key);
+      ag->propose(cctx, cctx.input());
+    }
+    agreed = ag->decide(cctx);
+  }
+  EngineSimContext sc(this, j, cctx, std::move(agreed));
+  shared_->algo.programs[static_cast<std::size_t>(j)](sc);
+}
+
+std::vector<ChildHandle> EngineSimulator::fork_children(ProcessContext& ctx) {
+  std::vector<ChildHandle> children;
+  children.reserve(static_cast<std::size_t>(shared_->n_sim()));
+  for (int j = 0; j < shared_->n_sim(); ++j) {
+    children.push_back(
+        ctx.fork([this, j](ProcessContext& cctx) { child_body(cctx, j); }));
+  }
+  return children;
+}
+
+void EngineSimulator::check_child_errors(
+    const std::vector<ChildHandle>& children) {
+  for (const ChildHandle& c : children) {
+    if (auto e = c.error()) std::rethrow_exception(e);
+  }
+}
+
+void EngineSimulator::run_colorless(ProcessContext& ctx) {
+  std::vector<ChildHandle> children = fork_children(ctx);
+  for (;;) {
+    {
+      // Observe (and adopt) decisions while holding the step token: the
+      // adoption point is then fixed by the schedule.
+      auto g = ctx.step();
+      std::lock_guard<std::mutex> lk(decisions_m_);
+      if (!decision_order_.empty()) {
+        const int j = decision_order_.front();
+        ctx.decide(*sim_decisions_[static_cast<std::size_t>(j)]);
+        break;
+      }
+    }
+    check_child_errors(children);
+    bool all_done = true;
+    for (const ChildHandle& c : children) {
+      if (!c.done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;  // every simulated thread finished undecided
+  }
+  // Cancel every child NOW, while this thread is alive and unparked: no
+  // grant can fire during this window, so all cancel flags become
+  // visible at one schedule point. (Cancelling lazily from the handle
+  // destructors would race the grant stream while the parent is absent
+  // joining an earlier child — a determinism leak found by the grant
+  // tracer.) The destructors then only join.
+  for (ChildHandle& c : children) c.cancel();
+}
+
+// ---- colored-mode propose gate ------------------------------------------
+
+void EngineSimulator::enter_propose_section(ProcessContext& cctx,
+                                            const std::string& key) {
+  (void)key;
+  for (;;) {
+    if (!paused_.load(std::memory_order_acquire)) {
+      active_proposes_.fetch_add(1, std::memory_order_acq_rel);
+      if (!paused_.load(std::memory_order_acquire)) return;
+      active_proposes_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    cctx.yield();
+  }
+}
+
+void EngineSimulator::arm_propose_trap(ProcessContext& cctx,
+                                       const std::string& key) {
+  // White-box adversary hook (CrashPlan::propose_trap): called with
+  // mutex1 already held, so the victim's next steps are the propose body
+  // itself and the armed crash lands mid-propose as intended.
+  cctx.backend().crashes().on_propose_enter(cctx.tid(), key);
+}
+
+void EngineSimulator::exit_propose_section() {
+  active_proposes_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void EngineSimulator::pause_proposes(ProcessContext& ctx) {
+  paused_.store(true, std::memory_order_release);
+  while (active_proposes_.load(std::memory_order_acquire) != 0) {
+    ctx.yield();
+  }
+}
+
+void EngineSimulator::resume_proposes() {
+  paused_.store(false, std::memory_order_release);
+}
+
+}  // namespace internal
+
+// --------------------------------------------------------------------------
+// Public entry point (colorless).
+
+SimulationPlan make_simulation(const SimulatedAlgorithm& algorithm,
+                               const ModelSpec& target,
+                               const SimulationOptions& options) {
+  algorithm.validate();
+  target.validate();
+  if (options.check_legality && target.power() > algorithm.model.power()) {
+    throw ProtocolError(
+        "illegal simulation: target power index " +
+        std::to_string(target.power()) + " exceeds source power index " +
+        std::to_string(algorithm.model.power()) + " (" + target.to_string() +
+        " cannot simulate " + algorithm.model.to_string() + ")");
+  }
+
+  auto shared = std::make_shared<internal::EngineShared>(algorithm, target,
+                                                         options.mem);
+  SimulationPlan plan;
+  plan.world = shared->world;
+  plan.programs.reserve(static_cast<std::size_t>(target.n));
+  for (int i = 0; i < target.n; ++i) {
+    auto simulator = std::make_shared<internal::EngineSimulator>(shared, i);
+    plan.programs.push_back([simulator](ProcessContext& ctx) {
+      simulator->run_colorless(ctx);
+    });
+  }
+  return plan;
+}
+
+}  // namespace mpcn

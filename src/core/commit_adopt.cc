@@ -1,0 +1,59 @@
+#include "src/core/commit_adopt.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+CommitAdopt::CommitAdopt(int width)
+    : width_(width),
+      phase1_(width, /*check_ownership=*/true),
+      phase2_(width, /*check_ownership=*/true) {
+  if (width < 1) throw ProtocolError("CommitAdopt needs width >= 1");
+}
+
+GradedValue CommitAdopt::propose(ProcessContext& ctx, const Value& v) {
+  const ProcessId i = ctx.pid();
+  {
+    std::lock_guard<std::mutex> lk(usage_m_);
+    if (i < 0 || i >= width_) {
+      throw ProtocolError("CommitAdopt: pid out of width");
+    }
+    if (!proposed_.insert(i).second) {
+      throw ProtocolError("CommitAdopt: propose invoked twice");
+    }
+  }
+
+  // Phase 1: publish the proposal; check for unanimity among starters.
+  phase1_.write(ctx, i, v);
+  bool unanimous = true;
+  for (const Value& e : phase1_.snapshot(ctx)) {
+    if (!e.is_nil() && e != v) {
+      unanimous = false;
+      break;
+    }
+  }
+
+  // Phase 2: publish (value, unanimity); commit iff everything visible
+  // is unanimous on our value; otherwise adopt a unanimous value if one
+  // is visible.
+  phase2_.write(ctx, i, Value::pair(v, Value(unanimous ? 1 : 0)));
+  GradedValue out{unanimous ? Grade::kCommit : Grade::kAdopt, v};
+  for (const Value& e : phase2_.snapshot(ctx)) {
+    if (e.is_nil()) continue;
+    const Value& other_value = e.at(0);
+    const bool other_unanimous = e.at(1).as_int() == 1;
+    if (other_unanimous) {
+      if (!(other_value == out.value)) {
+        // Someone saw unanimity on a different value: adopt it (the
+        // commit rule: a committer's value must win everywhere).
+        out.grade = Grade::kAdopt;
+        out.value = other_value;
+      }
+    } else {
+      if (out.grade == Grade::kCommit) out.grade = Grade::kAdopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,55 @@
+// CommitAdopt: the classic graded-agreement building block (related to
+// the adopt-commit objects of Gafni's round-by-round framework, cited in
+// Section 1.3 [16]).
+//
+// Each process proposes a value and obtains (grade, value) with grade in
+// {COMMIT, ADOPT} such that:
+//   * validity    — the returned value was proposed;
+//   * commit rule — if anyone returns (COMMIT, v), then everyone returns
+//                   value v (with either grade);
+//   * convergence — if all proposals are equal, everyone commits;
+//   * wait-free   — two snapshot rounds, no waiting.
+//
+// Implementation: two-phase snapshots. Phase 1: write your proposal,
+// snapshot; if you saw only your value, mark "unanimous". Phase 2: write
+// your (phase-1 value, unanimity flag), snapshot; commit iff every
+// phase-2 entry you saw is unanimous with your value; adopt a unanimous
+// value if you saw one.
+//
+// This object is the convergence engine of the Omega-based consensus in
+// src/oracles/leader_consensus.h: a leader that runs alone commits, and
+// the commit rule makes earlier commits sticky across rounds.
+#pragma once
+
+#include <mutex>
+#include <set>
+
+#include "src/common/value.h"
+#include "src/snapshot/primitive_snapshot.h"
+
+namespace mpcn {
+
+enum class Grade { kCommit, kAdopt };
+
+struct GradedValue {
+  Grade grade = Grade::kAdopt;
+  Value value;
+};
+
+class CommitAdopt {
+ public:
+  // width: number of processes that may propose (pids 0..width-1).
+  explicit CommitAdopt(int width);
+
+  // One-shot per process.
+  GradedValue propose(ProcessContext& ctx, const Value& v);
+
+ private:
+  const int width_;
+  PrimitiveSnapshot phase1_;
+  PrimitiveSnapshot phase2_;
+  std::mutex usage_m_;
+  std::set<ProcessId> proposed_;
+};
+
+}  // namespace mpcn

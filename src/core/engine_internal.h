@@ -1,0 +1,165 @@
+// Internals of the generalized BG simulation engine, shared by the
+// colorless engine (bg_engine.cc) and the colored engine
+// (colored_engine.cc). Not part of the public API surface.
+//
+// One EngineSimulator embodies simulator q_i of Section 2.4: it forks one
+// thread per simulated process p_j (same crash domain), maintains the
+// local copy mem_i of the simulated snapshot memory, and implements the
+// three simulation operations of Figures 2, 3 and 4/8 on top of:
+//   * MEM[1..N]: a snapshot object shared by the simulators,
+//   * lazily-materialized agreement objects (SafeAgreement when the
+//     target model has x = 1, XSafeAgreement otherwise),
+//   * the two per-simulator cooperative mutexes of the paper
+//     (mutex1: at most one agreement propose at a time — a crash blocks
+//      at most one agreement object; mutex2: at most one simulated
+//      x-consensus resolution at a time).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/agreement_factory.h"
+#include "src/core/bg_engine.h"
+#include "src/core/sim_api.h"
+#include "src/runtime/cooperative_mutex.h"
+#include "src/runtime/execution.h"
+#include "src/runtime/shared_world.h"
+#include "src/snapshot/snapshot_object.h"
+
+namespace mpcn::internal {
+
+// State shared by all N simulators of one simulation instance.
+struct EngineShared {
+  EngineShared(SimulatedAlgorithm algo_in, ModelSpec target_in,
+               MemKind mem_kind = MemKind::kPrimitive);
+
+  const SimulatedAlgorithm algo;
+  const ModelSpec target;
+  // MEM[1..N]: MEM[i] holds simulator q_i's copy of the simulated memory,
+  // as a list of n (value, sequence-number) pairs (Section 3.2.1).
+  std::shared_ptr<SnapshotObject> mem;
+  std::shared_ptr<SharedWorld> world;
+
+  // Lazily materialize the agreement object for `key`
+  // ("AG/<j>/<snapsn>", "INPUT/<j>", "XAG/<name>").
+  std::shared_ptr<AgreementObject> agreement(const std::string& key);
+
+  const XConsDecl& xcons_decl(const std::string& name) const;
+
+  int n_sim() const { return algo.n(); }
+  int n_simulators() const { return target.n; }
+};
+
+// Simulator q_i. Its run_colorless()/run_colored() methods are the
+// target-model Programs produced by the public engine entry points.
+class EngineSimulator {
+ public:
+  EngineSimulator(std::shared_ptr<EngineShared> shared, int i);
+
+  // Colorless mode: fork the n simulated threads, adopt the first
+  // simulated decision as q_i's own decision (colorless tasks allow any
+  // process to decide any decided value).
+  void run_colorless(ProcessContext& ctx);
+
+  // Colored mode (Section 5.5): candidates are claimed through the shared
+  // T&S[1..n] decision objects; q_i decides Value::pair(j, v_j) of the
+  // first simulated process it wins, pausing its own proposes around each
+  // claim attempt ("it completes the invocations of x'_sa_propose in
+  // which it is involved and stops the simulation").
+  void run_colored(ProcessContext& ctx);
+
+  // --- simulation operations, called from simulated threads ---
+
+  // Figure 2: sim_write_{i,j}(v).
+  void sim_write(ProcessContext& cctx, int j, const Value& v);
+  // Figure 3: sim_snapshot_{i,j}().
+  std::vector<Value> sim_snapshot(ProcessContext& cctx, int j);
+  // Figure 4 / Figure 8: sim_x_cons_propose^a_{i,j}(v).
+  Value sim_x_cons_propose(ProcessContext& cctx, int j,
+                           const std::string& name, const Value& v);
+
+  // Recording takes one scheduled step so the point at which a simulated
+  // decision becomes visible to the simulator's adoption loop is fixed by
+  // the schedule (determinism), not by native-code timing.
+  void record_simulated_decision(ProcessContext& cctx, int j, const Value& v);
+  bool simulated_has_decided(int j) const;
+
+  int n_sim() const { return shared_->n_sim(); }
+
+ private:
+  friend class EngineSimContext;
+
+  // The body of the thread simulating p_j: agree on p_j's input, then run
+  // the simulated program.
+  void child_body(ProcessContext& cctx, int j);
+
+  // Fork all simulated threads; returns their handles.
+  std::vector<ChildHandle> fork_children(ProcessContext& ctx);
+
+  // Rethrows any protocol error surfaced by a finished child.
+  void check_child_errors(const std::vector<ChildHandle>& children);
+
+  // Serialize the local memory copy as the MEM[i] payload.
+  Value memi_payload_locked() const;
+
+  // Colored-mode propose pause gate (see colored_engine.cc).
+  void enter_propose_section(ProcessContext& cctx, const std::string& key);
+  void exit_propose_section();
+  // White-box crash-trap hook; call with mutex1 held, before propose.
+  void arm_propose_trap(ProcessContext& cctx, const std::string& key);
+  void pause_proposes(ProcessContext& ctx);
+  void resume_proposes();
+
+  std::shared_ptr<EngineShared> shared_;
+  const int i_;  // simulator id
+
+  // mem_i: local copy of the simulated memory — (value, seq) per p_j.
+  // Guarded by local_m_ (touched by all of q_i's threads).
+  mutable std::mutex local_m_;
+  std::vector<std::pair<Value, std::int64_t>> memi_;
+
+  // snap_sn_[j]: sequence of simulated snapshots of p_j; only the thread
+  // simulating p_j touches entry j.
+  std::vector<std::int64_t> snap_sn_;
+
+  // The paper's mutex1 (Figure 3): at most one agreement propose at a
+  // time per simulator, so one crash poisons at most one object.
+  CooperativeMutex mutex1_;
+
+  // Figure 4's mutex2, refined to ONE MUTEX PER SIMULATED OBJECT.
+  //
+  // The paper's pseudocode shows a single mutex2 held across line 03's
+  // unbounded XSAFE_AG[a].sa_decide() wait. Read literally, that lets a
+  // single crashed object block *unrelated* objects: the thread stuck in
+  // sa_decide(a) holds mutex2 forever, so the simulator can never resolve
+  // any other simulated object b — at every simulator — and more than x
+  // simulated processes block, contradicting the Lemma 1 accounting.
+  // mutex2's stated purpose ("the access to the local variable xres_i[a]
+  // is protected", one-shot per object) is per-object serialization, so
+  // that is what we implement: each object's resolve-once-and-cache is
+  // serialized independently. sa_propose stays under mutex1, preserving
+  // "a simulator is engaged in at most one sa_propose at a time".
+  struct XObjectState {
+    CooperativeMutex mutex;        // mutex2[a]
+    std::optional<Value> result;   // xres_i[a], guarded by mutex
+  };
+  XObjectState& xobject(const std::string& name);
+  std::mutex xobjects_m_;  // guards map shape only (lazy creation)
+  std::map<std::string, std::unique_ptr<XObjectState>> xobjects_;
+
+  // Simulated decisions (j -> value) and the adoption order.
+  mutable std::mutex decisions_m_;
+  std::vector<std::optional<Value>> sim_decisions_;
+  std::vector<int> decision_order_;  // j's in arrival order
+
+  // Colored-mode gate.
+  std::atomic<bool> paused_{false};
+  std::atomic<int> active_proposes_{0};
+};
+
+}  // namespace mpcn::internal

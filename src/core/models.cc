@@ -1,0 +1,87 @@
+#include "src/core/models.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+void ModelSpec::validate() const {
+  if (n < 2) throw ProtocolError("ASM needs n >= 2");
+  if (t < 0 || t >= n) throw ProtocolError("ASM needs 0 <= t < n");
+  if (x < 1 || x > n) throw ProtocolError("ASM needs 1 <= x <= n");
+}
+
+std::string ModelSpec::to_string() const {
+  return "ASM(" + std::to_string(n) + "," + std::to_string(t) + "," +
+         std::to_string(x) + ")";
+}
+
+bool equivalent(const ModelSpec& a, const ModelSpec& b) {
+  a.validate();
+  b.validate();
+  return a.power() == b.power();
+}
+
+bool at_least_as_strong(const ModelSpec& a, const ModelSpec& b) {
+  a.validate();
+  b.validate();
+  return a.power() <= b.power();
+}
+
+bool solvable_with_set_consensus_number(int k, const ModelSpec& m) {
+  m.validate();
+  if (k < 1) throw ProtocolError("set consensus number is >= 1");
+  return k > m.power();
+}
+
+bool object_allowed(int consensus_number, const ModelSpec& m) {
+  m.validate();
+  return consensus_number <= m.x;
+}
+
+std::vector<EquivalenceClass> classes_for_t(int n, int t_prime) {
+  ModelSpec probe{n, t_prime, 1};
+  probe.validate();
+  std::vector<EquivalenceClass> out;
+  int x = 1;
+  while (x <= n) {
+    const int p = floor_div(t_prime, x);
+    // Largest x' with the same floor: for p > 0 it is ⌊t'/p⌋; for p == 0
+    // every larger x also gives 0.
+    int hi = (p == 0) ? n : std::min(n, floor_div(t_prime, p));
+    EquivalenceClass c;
+    c.power = p;
+    c.x_lo = x;
+    c.x_hi = hi;
+    c.canonical = ModelSpec{n, p, 1};
+    out.push_back(c);
+    x = hi + 1;
+  }
+  return out;
+}
+
+TWindow equivalent_t_window(int t, int x) {
+  if (t < 0 || x < 1) throw ProtocolError("bad window parameters");
+  return TWindow{t * x, t * x + x - 1};
+}
+
+std::vector<ModelSpec> equivalence_chain(const ModelSpec& m1,
+                                         const ModelSpec& m2) {
+  if (!equivalent(m1, m2)) {
+    throw ProtocolError("models are not equivalent: " + m1.to_string() +
+                        " vs " + m2.to_string());
+  }
+  const int t = m1.power();
+  // BG middle model ASM(t+1, t, 1); for t = 0 use the failure-free pair.
+  const ModelSpec mid = (t >= 1) ? ModelSpec{t + 1, t, 1} : ModelSpec{2, 0, 1};
+  std::vector<ModelSpec> chain = {m1, m1.canonical(), mid, m2.canonical(), m2};
+  // Collapse consecutive duplicates (e.g. when m1 is already canonical).
+  std::vector<ModelSpec> out;
+  for (const ModelSpec& m : chain) {
+    if (out.empty() || !(out.back() == m)) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,94 @@
+// ModelSpec: the system model ASM(n, t, x) and its equivalence theory.
+//
+// ASM(n, t, x) (Section 2.3): n asynchronous processes, at most t < n
+// crashes, communication through a snapshot memory and (when x > 1)
+// consensus objects of consensus number x, each accessible by at most x
+// statically-defined processes.
+//
+// The paper's main theorem (Section 5.3):
+//     ASM(n1,t1,x1) ≃ ASM(n2,t2,x2)   iff   ⌊t1/x1⌋ = ⌊t2/x2⌋
+// for colorless decision tasks. ⌊t/x⌋ is the model's *power index*; the
+// canonical representative of a class is ASM(n, ⌊t/x⌋, 1) (Section 5.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace mpcn {
+
+struct ModelSpec {
+  int n = 2;  // number of processes
+  int t = 1;  // resilience: at most t crashes, 1 <= t < n
+  int x = 1;  // consensus number of the shared objects, 1 <= x <= n
+
+  // Throws ProtocolError when the parameters violate the model definition.
+  void validate() const;
+
+  // The power index ⌊t/x⌋ — the single number that determines the model's
+  // computational power for colorless tasks.
+  int power() const { return floor_div(t, x); }
+
+  // t = n-1: algorithms for this model are wait-free (Section 2.3).
+  bool wait_free() const { return t == n - 1; }
+
+  // The canonical class representative ASM(n, ⌊t/x⌋, 1) — note its t may
+  // be 0 (failure-free read/write model), which the paper reaches in the
+  // x > t regime: "ASM(n,t',t) and the failure-free read/write model
+  // ASM(n,0,1) are equivalent".
+  ModelSpec canonical() const { return ModelSpec{n, power(), 1}; }
+
+  std::string to_string() const;
+
+  bool operator==(const ModelSpec& o) const {
+    return n == o.n && t == o.t && x == o.x;
+  }
+};
+
+// Same computational power for colorless tasks (main theorem).
+bool equivalent(const ModelSpec& a, const ModelSpec& b);
+
+// a solves at least every colorless task b solves. Lower power index =
+// fewer "effective" failures = stronger model (Section 5.4 hierarchy).
+bool at_least_as_strong(const ModelSpec& a, const ModelSpec& b);
+
+// A colorless task with set consensus number k is solvable in ASM(n,t,x)
+// iff k > ⌊t/x⌋ (Section 5.4: "T_k can be solved in ASM(n,t,x) if and
+// only if k > ⌊t/x⌋").
+bool solvable_with_set_consensus_number(int k, const ModelSpec& m);
+
+// Legality of shared objects: an object with consensus number c may be
+// used in ASM(n,t,x) iff c <= x (registers/snapshots have c = 1 and are
+// always allowed; test&set needs x >= 2, per [19]).
+bool object_allowed(int consensus_number, const ModelSpec& m);
+
+// Section 5.4: the partition of models ASM(n, t_prime, x), x = 1..n, into
+// equivalence classes. One row per class, in decreasing power-index order
+// (the paper's worked example is t_prime = 8).
+struct EquivalenceClass {
+  int power = 0;    // the shared ⌊t'/x⌋
+  int x_lo = 1;     // class = all x in [x_lo, x_hi]
+  int x_hi = 1;
+  ModelSpec canonical;  // ASM(n, power, 1)
+};
+std::vector<EquivalenceClass> classes_for_t(int n, int t_prime);
+
+// The Figure 7 chain between two equivalent models:
+//   M1, ASM(n1,t,1), ASM(t+1,t,1), ASM(n2,t,1), M2   with t = power.
+// Degenerate hops (equal specs) are collapsed. Throws if the models are
+// not equivalent. When t = 0 the BG middle hop ASM(t+1,t,1) would be a
+// 1-process system; it is replaced by ASM(2,0,1) (the failure-free pair),
+// since the BG construction is defined for t >= 1.
+std::vector<ModelSpec> equivalence_chain(const ModelSpec& m1,
+                                         const ModelSpec& m2);
+
+// The multiplicative-power window (Section 5.4): ASM(n,t',x) ≃ ASM(n,t,1)
+// iff t' ∈ [t*x, t*x + x - 1].
+struct TWindow {
+  int lo = 0;
+  int hi = 0;
+};
+TWindow equivalent_t_window(int t, int x);
+
+}  // namespace mpcn

@@ -1,0 +1,126 @@
+#include "src/core/pipeline.h"
+
+#include <map>
+
+#include "src/common/errors.h"
+#include "src/objects/x_consensus.h"
+#include "src/snapshot/primitive_snapshot.h"
+
+namespace mpcn {
+
+namespace {
+
+// Shared objects of a native run of A in its own model.
+struct DirectWorld {
+  explicit DirectWorld(const SimulatedAlgorithm& a)
+      : mem(std::make_shared<PrimitiveSnapshot>(a.n(),
+                                                /*check_ownership=*/true)) {
+    for (const XConsDecl& d : a.xcons) {
+      std::set<ProcessId> ports(d.ports.begin(), d.ports.end());
+      xcons.emplace(d.name, std::make_shared<XConsensus>(std::move(ports)));
+    }
+  }
+  std::shared_ptr<PrimitiveSnapshot> mem;
+  std::map<std::string, std::shared_ptr<XConsensus>> xcons;
+};
+
+class DirectSimContext : public SimContext {
+ public:
+  DirectSimContext(std::shared_ptr<DirectWorld> world, int n,
+                   ProcessContext& ctx, Value input)
+      : world_(std::move(world)), n_(n), ctx_(ctx), input_(std::move(input)) {}
+
+  int id() const override { return ctx_.pid(); }
+  int n() const override { return n_; }
+  Value input() const override { return input_; }
+
+  void write(const Value& v) override {
+    world_->mem->write(ctx_, ctx_.pid(), v);
+  }
+  std::vector<Value> snapshot() override {
+    return world_->mem->snapshot(ctx_);
+  }
+  Value x_cons_propose(const std::string& name, const Value& v) override {
+    auto it = world_->xcons.find(name);
+    if (it == world_->xcons.end()) {
+      throw ProtocolError("undeclared x_cons object: " + name);
+    }
+    return it->second->propose(ctx_, v);
+  }
+  void decide(const Value& v) override { ctx_.decide(v); }
+  bool has_decided() const override { return ctx_.has_decided(); }
+
+ private:
+  std::shared_ptr<DirectWorld> world_;
+  const int n_;
+  ProcessContext& ctx_;
+  Value input_;
+};
+
+}  // namespace
+
+std::vector<Program> make_direct_programs(
+    const SimulatedAlgorithm& algorithm) {
+  algorithm.validate();
+  auto world = std::make_shared<DirectWorld>(algorithm);
+  const int n = algorithm.n();
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    SimProgram prog = algorithm.programs[static_cast<std::size_t>(j)];
+    const std::optional<std::vector<Value>>& stat = algorithm.static_inputs;
+    Value static_input =
+        stat ? (*stat)[static_cast<std::size_t>(j)] : Value::nil();
+    const bool use_static = stat.has_value();
+    programs.push_back(
+        [world, n, prog, static_input, use_static](ProcessContext& ctx) {
+          DirectSimContext sc(world, n, ctx,
+                              use_static ? static_input : ctx.input());
+          prog(sc);
+        });
+  }
+  return programs;
+}
+
+Outcome run_direct(const SimulatedAlgorithm& algorithm,
+                   const std::vector<Value>& inputs,
+                   const ExecutionOptions& options) {
+  return run_execution(make_direct_programs(algorithm), inputs, options);
+}
+
+Outcome run_simulated(const SimulatedAlgorithm& algorithm,
+                      const ModelSpec& target,
+                      const std::vector<Value>& inputs,
+                      const ExecutionOptions& options,
+                      const SimulationOptions& sim_options) {
+  SimulationPlan plan = make_simulation(algorithm, target, sim_options);
+  return run_execution(std::move(plan.programs), inputs, options);
+}
+
+std::vector<ChainHop> run_through_chain(
+    const SimulatedAlgorithm& algorithm, const ModelSpec& other,
+    const std::vector<Value>& input_pool, const ExecutionOptions& base,
+    const std::function<CrashPlan(const ModelSpec&)>& crashes_for) {
+  if (input_pool.empty()) {
+    throw ProtocolError("run_through_chain needs a non-empty input pool");
+  }
+  std::vector<ChainHop> out;
+  for (const ModelSpec& hop : equivalence_chain(algorithm.model, other)) {
+    std::vector<Value> inputs;
+    inputs.reserve(static_cast<std::size_t>(hop.n));
+    for (int i = 0; i < hop.n; ++i) {
+      inputs.push_back(input_pool[static_cast<std::size_t>(i) %
+                                  input_pool.size()]);
+    }
+    ExecutionOptions options = base;
+    options.crashes = crashes_for ? crashes_for(hop) : CrashPlan::none();
+    Outcome outcome =
+        (hop == algorithm.model)
+            ? run_direct(algorithm, inputs, options)
+            : run_simulated(algorithm, hop, inputs, options);
+    out.push_back(ChainHop{hop, std::move(outcome)});
+  }
+  return out;
+}
+
+}  // namespace mpcn

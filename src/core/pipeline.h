@@ -1,0 +1,48 @@
+// Pipeline: executing a SimulatedAlgorithm natively or through the
+// engine, and the Figure 7 equivalence chain.
+//
+// run_direct executes A in its own model (one real process per simulated
+// process, primitive snapshot memory, port-enforced x-consensus objects).
+// run_simulated executes A in any target model of at least the same power
+// through the generalized engine. run_through_chain walks A across every
+// model of the Figure 7 chain between A's model and another equivalent
+// model, demonstrating the equivalence empirically hop by hop.
+#pragma once
+
+#include <functional>
+
+#include "src/core/bg_engine.h"
+#include "src/core/models.h"
+#include "src/core/sim_api.h"
+#include "src/runtime/execution.h"
+
+namespace mpcn {
+
+// Wrap A's programs as native runtime programs in A's own model.
+std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm);
+
+Outcome run_direct(const SimulatedAlgorithm& algorithm,
+                   const std::vector<Value>& inputs,
+                   const ExecutionOptions& options);
+
+Outcome run_simulated(const SimulatedAlgorithm& algorithm,
+                      const ModelSpec& target,
+                      const std::vector<Value>& inputs,
+                      const ExecutionOptions& options,
+                      const SimulationOptions& sim_options = {});
+
+struct ChainHop {
+  ModelSpec model;
+  Outcome outcome;
+};
+
+// Runs A in every model of equivalence_chain(A.model, other). The input
+// of process i in a hop with n processes is input_pool[i % pool size].
+// `crashes_for` (optional) builds a per-hop crash plan within the hop's
+// budget; default: failure-free hops.
+std::vector<ChainHop> run_through_chain(
+    const SimulatedAlgorithm& algorithm, const ModelSpec& other,
+    const std::vector<Value>& input_pool, const ExecutionOptions& base,
+    const std::function<CrashPlan(const ModelSpec&)>& crashes_for = {});
+
+}  // namespace mpcn

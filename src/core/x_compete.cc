@@ -1,0 +1,26 @@
+#include "src/core/x_compete.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+XCompete::XCompete(int x) : ts_(static_cast<std::size_t>(x)) {
+  if (x < 1) throw ProtocolError("XCompete needs x >= 1");
+}
+
+bool XCompete::compete(ProcessContext& ctx) {
+  // Figure 5, lines 01-05.
+  bool winner = false;
+  for (std::size_t l = 0; l < ts_.size() && !winner; ++l) {
+    winner = ts_[l].test_and_set(ctx);
+  }
+  return winner;
+}
+
+int XCompete::taken_count() const {
+  int c = 0;
+  for (const TestAndSet& t : ts_) c += t.taken() ? 1 : 0;
+  return c;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,119 @@
+#include "src/core/x_safe_agreement.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+std::vector<int> unrank_combination(int n, int x, std::int64_t rank) {
+  // Lexicographic unranking: choose elements left to right; skipping
+  // first element e costs C(n - e - 1, x - 1) combinations.
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(x));
+  int e = 0;
+  for (int k = x; k > 0; --k) {
+    for (;; ++e) {
+      const std::int64_t block = binomial(n - e - 1, k - 1);
+      if (rank < block) break;
+      rank -= block;
+    }
+    out.push_back(e);
+    ++e;
+  }
+  return out;
+}
+
+std::int64_t rank_combination(int n, const std::vector<int>& subset) {
+  std::int64_t rank = 0;
+  int prev = -1;
+  int k = static_cast<int>(subset.size());
+  for (int idx = 0; idx < k; ++idx) {
+    for (int e = prev + 1; e < subset[static_cast<std::size_t>(idx)]; ++e) {
+      rank += binomial(n - e - 1, k - idx - 1);
+    }
+    prev = subset[static_cast<std::size_t>(idx)];
+  }
+  return rank;
+}
+
+XSafeAgreement::XSafeAgreement(int width, int x, CompeteHook compete_hook)
+    : width_(width),
+      x_(x),
+      m_(binomial(width, x)),
+      compete_hook_(std::move(compete_hook)),
+      compete_(x) {
+  if (x < 1 || x > width) {
+    throw ProtocolError("XSafeAgreement needs 1 <= x <= width");
+  }
+}
+
+XConsensus& XSafeAgreement::xcons_for(std::int64_t rank) {
+  std::lock_guard<std::mutex> lk(lazy_m_);
+  auto it = xcons_.find(rank);
+  if (it == xcons_.end()) {
+    const std::vector<int> members = unrank_combination(width_, x_, rank);
+    std::set<ProcessId> ports(members.begin(), members.end());
+    it = xcons_.emplace(rank, std::make_unique<XConsensus>(std::move(ports)))
+             .first;
+  }
+  return *it->second;
+}
+
+void XSafeAgreement::propose(ProcessContext& ctx, const Value& v) {
+  const ProcessId i = ctx.pid();
+  {
+    std::lock_guard<std::mutex> lk(usage_m_);
+    if (i < 0 || i >= width_) {
+      throw ProtocolError("XSafeAgreement: pid out of width");
+    }
+    if (!proposed_.insert(i).second) {
+      throw ProtocolError("XSafeAgreement: x_sa_propose invoked twice");
+    }
+  }
+  // (01) compete for ownership
+  const bool owner = compete_.compete(ctx);
+  if (compete_hook_) compete_hook_(ctx, owner);
+  if (!owner) return;  // (02/08) non-owners are done: >= x others proposed
+  // (03..06) scan SET_LIST in the fixed global order, funnelling res
+  // through every x-consensus object whose subset contains i.
+  Value res = v;
+  for (std::int64_t l = 0; l < m_; ++l) {
+    const std::vector<int> subset = unrank_combination(width_, x_, l);
+    bool contains_me = false;
+    for (int member : subset) {
+      if (member == i) {
+        contains_me = true;
+        break;
+      }
+    }
+    if (contains_me) {
+      res = xcons_for(l).propose(ctx, res);
+    }
+  }
+  // (07) publish the decided value
+  decided_register_.write(ctx, res);
+}
+
+Value XSafeAgreement::decide(ProcessContext& ctx) {
+  {
+    std::lock_guard<std::mutex> lk(usage_m_);
+    if (!proposed_.count(ctx.pid())) {
+      throw ProtocolError("XSafeAgreement: x_sa_decide before propose");
+    }
+  }
+  // (09) wait (X_SAFE_AG != ⊥): each read is a schedulable model step.
+  for (;;) {
+    const Value v = decided_register_.read(ctx);
+    if (!v.is_nil()) return v;  // (10)
+  }
+}
+
+bool XSafeAgreement::has_decided_value() const {
+  return !decided_register_.peek().is_nil();
+}
+
+std::int64_t XSafeAgreement::consensus_objects_created() const {
+  std::lock_guard<std::mutex> lk(lazy_m_);
+  return static_cast<std::int64_t>(xcons_.size());
+}
+
+}  // namespace mpcn

@@ -1,0 +1,20 @@
+#include "src/history/history.h"
+
+namespace mpcn {
+
+void HistoryRecorder::record(Event e) {
+  std::lock_guard<std::mutex> lk(m_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<Event> HistoryRecorder::events() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return events_;
+}
+
+std::size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return events_.size();
+}
+
+}  // namespace mpcn

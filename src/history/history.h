@@ -1,0 +1,44 @@
+// Operation histories: the raw material of linearizability checking.
+//
+// Tests record an Event per high-level operation (invocation step stamp,
+// response step stamp, operation name, argument, return value). Under the
+// lock-step controller the stamps come from the global step clock, so the
+// real-time partial order of the history is exact.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+
+namespace mpcn {
+
+struct Event {
+  ThreadId tid{};
+  std::string op;        // e.g. "write", "snapshot", "read"
+  Value arg;             // operation argument ([index, v] for writes)
+  Value ret;             // return value (snapshot view, read value, ...)
+  std::uint64_t invoke_step = 0;
+  std::uint64_t response_step = 0;
+};
+
+// Thread-safe append-only event log.
+class HistoryRecorder {
+ public:
+  // Returns the invocation stamp to pass to complete().
+  std::uint64_t begin(std::uint64_t step_clock) const { return step_clock; }
+
+  void record(Event e);
+
+  std::vector<Event> events() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<Event> events_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,21 @@
+#include "src/objects/compare_and_swap.h"
+
+namespace mpcn {
+
+Value CompareAndSwap::compare_and_swap(ProcessContext& ctx,
+                                       const Value& expected,
+                                       const Value& desired) {
+  auto g = ctx.step();
+  std::lock_guard<std::mutex> lk(m_);
+  Value old = value_;
+  if (value_ == expected) value_ = desired;
+  return old;
+}
+
+Value CompareAndSwap::read(ProcessContext& ctx) const {
+  auto g = ctx.step();
+  std::lock_guard<std::mutex> lk(m_);
+  return value_;
+}
+
+}  // namespace mpcn

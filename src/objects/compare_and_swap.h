@@ -1,0 +1,39 @@
+// CompareAndSwap: a CAS object over Value (consensus number +infinity).
+//
+// "the consensus number of Compare&Swap objects is +infinity, which means
+//  that consensus can be solved for any number of processes ... from
+//  Compare&Swap objects and read/write registers" (Section 1.1).
+//
+// This is the hardware-strength primitive the x-ported consensus objects
+// are built from (restricted to x ports, per footnote 1 of the paper).
+#pragma once
+
+#include <limits>
+#include <mutex>
+
+#include "src/common/value.h"
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+class CompareAndSwap {
+ public:
+  explicit CompareAndSwap(Value initial = Value::nil())
+      : value_(std::move(initial)) {}
+
+  // Atomically: if value == expected, set value := desired. Returns the
+  // value read (the classic CAS return: equal to `expected` iff the swap
+  // happened).
+  Value compare_and_swap(ProcessContext& ctx, const Value& expected,
+                         const Value& desired);
+
+  Value read(ProcessContext& ctx) const;
+
+  static constexpr int consensus_number = std::numeric_limits<int>::max();
+
+ private:
+  mutable std::mutex m_;
+  Value value_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,110 @@
+// Herlihy-hierarchy exhibits (Section 1.1 background).
+//
+// Small constructions demonstrating the consensus-number facts the paper
+// leans on:
+//   * shared FIFO queue / stack — consensus number 2;
+//   * 2-process consensus from a queue initialized with {winner, loser};
+//   * 2-process consensus from one test&set object + registers;
+//   * 2-port test&set from a 2-process consensus object (the direction
+//     used in Section 4.3: "a test&set object can easily be implemented
+//     from an object with consensus number x" for x >= 2);
+//   * n-process consensus from a CAS object (consensus number infinity).
+//
+// These are library citizens (tested, benched) rather than toys: the
+// hierarchy tests use them to check that each construction meets its
+// advertised consensus power under adversarial schedules.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/common/value.h"
+#include "src/objects/compare_and_swap.h"
+#include "src/objects/test_and_set.h"
+#include "src/objects/x_consensus.h"
+#include "src/registers/atomic_register.h"
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+// Linearizable shared FIFO queue. Each operation is one atomic step.
+class SharedQueue {
+ public:
+  void enqueue(ProcessContext& ctx, Value v);
+  // Returns nil if empty.
+  Value dequeue(ProcessContext& ctx);
+
+  // Harness-side initialization (not a model step): sets the queue's
+  // initial content, e.g. the winner token of QueueConsensus2.
+  void prefill(Value v);
+
+  static constexpr int consensus_number = 2;
+
+ private:
+  std::mutex m_;
+  std::deque<Value> q_;
+};
+
+// Linearizable shared LIFO stack. Each operation is one atomic step.
+class SharedStack {
+ public:
+  void push(ProcessContext& ctx, Value v);
+  // Returns nil if empty.
+  Value pop(ProcessContext& ctx);
+
+  static constexpr int consensus_number = 2;
+
+ private:
+  std::mutex m_;
+  std::deque<Value> s_;
+};
+
+// 2-process consensus from a queue pre-filled with a winner token
+// (Herlihy 1991). Ports are fixed at construction.
+class QueueConsensus2 {
+ public:
+  QueueConsensus2(ProcessId a, ProcessId b);
+  Value propose(ProcessContext& ctx, const Value& v);
+
+ private:
+  const ProcessId a_, b_;
+  SharedQueue queue_;
+  AtomicRegister proposal_a_, proposal_b_;
+};
+
+// 2-process consensus from one test&set object plus registers.
+class TasConsensus2 {
+ public:
+  TasConsensus2(ProcessId a, ProcessId b);
+  Value propose(ProcessContext& ctx, const Value& v);
+
+ private:
+  const ProcessId a_, b_;
+  TestAndSet tas_;
+  AtomicRegister proposal_a_, proposal_b_;
+};
+
+// 2-port one-shot test&set built from a 2-process consensus object:
+// the winner is the port whose id the consensus decides.
+class ConsensusTas2 {
+ public:
+  ConsensusTas2(ProcessId a, ProcessId b);
+  bool test_and_set(ProcessContext& ctx);
+
+ private:
+  XConsensus cons_;
+};
+
+// n-process consensus from a single CAS cell (consensus number infinity):
+// the first successful CAS from nil installs the decision.
+class CasConsensus {
+ public:
+  CasConsensus() = default;
+  Value propose(ProcessContext& ctx, const Value& v);
+
+ private:
+  CompareAndSwap cas_;
+};
+
+}  // namespace mpcn

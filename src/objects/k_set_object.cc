@@ -1,0 +1,36 @@
+#include "src/objects/k_set_object.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+KSetObject::KSetObject(std::set<ProcessId> ports, int l)
+    : ports_(std::move(ports)), l_(l) {
+  if (l_ < 1) throw ProtocolError("KSetObject needs l >= 1");
+  if (ports_.empty()) throw ProtocolError("KSetObject needs ports");
+}
+
+Value KSetObject::propose(ProcessContext& ctx, const Value& v) {
+  if (!ports_.count(ctx.pid())) {
+    throw ProtocolError("process is not a port of this (m,l)-set object");
+  }
+  auto g = ctx.step();
+  std::lock_guard<std::mutex> lk(m_);
+  if (proposed_.count(ctx.pid())) {
+    throw ProtocolError("(m,l)-set propose invoked twice by a port");
+  }
+  proposed_.insert(ctx.pid());
+  // Hand out the caller's own value while fewer than l distinct values
+  // are in circulation; afterwards return an already-circulating value.
+  auto it = std::find(chosen_.begin(), chosen_.end(), v);
+  if (it != chosen_.end()) return v;
+  if (static_cast<int>(chosen_.size()) < l_) {
+    chosen_.push_back(v);
+    return v;
+  }
+  return chosen_.front();
+}
+
+}  // namespace mpcn

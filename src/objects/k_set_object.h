@@ -1,0 +1,41 @@
+// KSetObject: an (m, l)-set agreement object (Section 1.3, related work).
+//
+// "An (m, l)-set agreement object is an object that solves the l-set
+//  agreement in a set of m processes": each of up to m statically-defined
+//  ports proposes a value and obtains a proposed value back, such that at
+//  most l distinct values are returned overall.
+//
+// Used by the hierarchy tests/benches that reproduce the discussion of
+// Borowsky-Gafni's set-consensus hierarchy [7,13]: an (n,k) object cannot
+// be built from (m,l) objects when n/k > m/l.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+class KSetObject {
+ public:
+  KSetObject(std::set<ProcessId> ports, int l);
+
+  // Propose v; returns one of the proposed values. At most l distinct
+  // values are ever returned across all ports.
+  Value propose(ProcessContext& ctx, const Value& v);
+
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  int l() const { return l_; }
+
+ private:
+  const std::set<ProcessId> ports_;
+  const int l_;
+  mutable std::mutex m_;
+  std::vector<Value> chosen_;  // the <= l values handed out so far
+  std::set<ProcessId> proposed_;
+};
+
+}  // namespace mpcn

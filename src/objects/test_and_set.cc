@@ -1,0 +1,10 @@
+#include "src/objects/test_and_set.h"
+
+namespace mpcn {
+
+bool TestAndSet::test_and_set(ProcessContext& ctx) {
+  auto g = ctx.step();
+  return !taken_.exchange(true, std::memory_order_acq_rel);
+}
+
+}  // namespace mpcn

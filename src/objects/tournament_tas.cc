@@ -1,0 +1,66 @@
+#include "src/objects/tournament_tas.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+TournamentTestAndSet::TournamentTestAndSet(int n) : n_(n) {
+  if (n < 1) throw ProtocolError("TournamentTestAndSet needs n >= 1");
+  leaves_ = 1;
+  while (leaves_ < n) leaves_ *= 2;
+  nodes_.resize(static_cast<std::size_t>(2 * leaves_));
+  for (auto& node : nodes_) node = std::make_unique<Node>();
+}
+
+bool TournamentTestAndSet::test_and_set(ProcessContext& ctx) {
+  const ProcessId me = ctx.pid();
+  {
+    std::lock_guard<std::mutex> lk(usage_m_);
+    if (me < 0 || me >= n_) {
+      throw ProtocolError("TournamentTestAndSet: pid out of range");
+    }
+    if (!invoked_.insert(me).second) {
+      throw ProtocolError("TournamentTestAndSet: one-shot object");
+    }
+  }
+  // Walk leaf -> root. Heap layout: leaf i sits at index leaves_ + i;
+  // node k's parent is k/2; k is the left child iff k is even.
+  int k = leaves_ + me;
+  while (k > 1) {
+    const int role = k % 2;  // 0 = arrived from the left subtree
+    Node& node = *nodes_[static_cast<std::size_t>(k / 2)];
+    // One atomic step: claim the role and propose to the node's
+    // 2-consensus (the step guard makes claim+propose one linearization
+    // point, as a 2-ported consensus object would provide).
+    {
+      auto g = ctx.step();
+      std::lock_guard<std::mutex> lk(node.m);
+      if (node.role_taken[role]) {
+        throw ProtocolError(
+            "TournamentTestAndSet: node role claimed twice — subtree "
+            "produced two winners (invariant broken)");
+      }
+      node.role_taken[role] = true;
+      if (!node.decided.has_value()) node.decided = Value(me);
+    }
+    // Read the decision (separate step, like a consensus propose return).
+    Value winner;
+    {
+      auto g = ctx.step();
+      std::lock_guard<std::mutex> lk(node.m);
+      winner = *node.decided;
+    }
+    if (winner.as_int() != me) return false;  // lost this round
+    k /= 2;
+  }
+  return true;  // won the root
+}
+
+std::optional<int> TournamentTestAndSet::winner() const {
+  const Node& root = *nodes_[1];
+  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(root.m));
+  if (!root.decided.has_value()) return std::nullopt;
+  return static_cast<int>(root.decided->as_int());
+}
+
+}  // namespace mpcn

@@ -1,0 +1,71 @@
+// TournamentTestAndSet: an n-port one-shot test&set built from
+// 2-process consensus objects.
+//
+// Section 4.3 leans on the fact that "a test&set object can easily be
+// implemented from an object with consensus number x" for x >= 2 [19].
+// This module makes that constructive: a balanced tournament tree whose
+// internal nodes are 2-consensus objects between *roles* (left-subtree
+// winner vs right-subtree winner).
+//
+//   compete(i):   walk from leaf i to the root; at each node, claim your
+//                 side's role and propose your id to the node's
+//                 2-consensus; continue only while the consensus decides
+//                 you. Win the root => you are the test&set winner.
+//
+// Why it is a correct one-shot test&set:
+//   * uniqueness — the root consensus decides exactly one id;
+//   * "first wins" — if p's invocation completes before q begins, p won
+//     every node on its path; q meets p's path no later than their
+//     lowest common ancestor and the consensus there is already decided
+//     in p's favor (or in favor of someone who beat p, who also precedes
+//     q), so q loses;
+//   * wait-freedom — the path has ceil(log2 n) nodes, each a bounded
+//     number of steps.
+//
+// Each node's side-role is occupied by at most one process (at most one
+// process wins each child subtree), so a 2-ported consensus object
+// suffices — this is exactly why consensus number 2 is enough. The role
+// occupancy invariant is asserted at runtime.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+class TournamentTestAndSet {
+ public:
+  explicit TournamentTestAndSet(int n);
+
+  // Returns true iff the caller wins (paper's winner convention).
+  // One-shot: at most one invocation per process id in [0, n).
+  bool test_and_set(ProcessContext& ctx);
+
+  int width() const { return n_; }
+
+  // Harness-side: the winner's id once decided at the root (or nullopt).
+  std::optional<int> winner() const;
+
+ private:
+  // A 2-role consensus node: each role (0 = left, 1 = right) may be
+  // claimed by at most one process; the first propose fixes the decision.
+  struct Node {
+    std::mutex m;
+    std::optional<Value> decided;
+    bool role_taken[2] = {false, false};
+  };
+
+  const int n_;
+  int leaves_;  // smallest power of two >= n
+  std::vector<std::unique_ptr<Node>> nodes_;  // heap layout, 1-based
+
+  std::mutex usage_m_;
+  std::set<ProcessId> invoked_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,74 @@
+#include "src/oracles/leader_consensus.h"
+
+#include <map>
+#include <mutex>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+namespace {
+
+// Lazily-created array of commit-adopt rounds shared by the processes.
+struct ConsensusWorld {
+  explicit ConsensusWorld(int n_in) : n(n_in) {}
+
+  CommitAdopt& round(int r) {
+    std::lock_guard<std::mutex> lk(m);
+    auto it = rounds.find(r);
+    if (it == rounds.end()) {
+      it = rounds.emplace(r, std::make_unique<CommitAdopt>(n)).first;
+    }
+    return *it->second;
+  }
+
+  const int n;
+  std::mutex m;
+  std::map<int, std::unique_ptr<CommitAdopt>> rounds;
+  AtomicRegister decision;  // DEC, nil until decided
+};
+
+}  // namespace
+
+std::vector<Program> leader_consensus_programs(
+    int n, std::shared_ptr<OmegaX> oracle) {
+  if (n < 1) throw ProtocolError("leader_consensus needs n >= 1");
+  auto world = std::make_shared<ConsensusWorld>(n);
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    programs.push_back([world, oracle](ProcessContext& ctx) {
+      Value est = ctx.input();
+      for (int r = 0;; ++r) {
+        // Fast path: someone already decided.
+        const Value dec = world->decision.read(ctx);
+        if (!dec.is_nil()) {
+          ctx.decide(dec);
+          return;
+        }
+        // Omega gate: only (believed) leaders start a round. This is a
+        // liveness optimization only — any interleaving is safe.
+        while (true) {
+          const std::set<ProcessId> leaders = oracle->query(ctx);
+          if (leaders.count(ctx.pid())) break;
+          const Value d = world->decision.read(ctx);
+          if (!d.is_nil()) {
+            ctx.decide(d);
+            return;
+          }
+        }
+        // Round r: converge through commit-adopt.
+        const GradedValue g = world->round(r).propose(ctx, est);
+        est = g.value;
+        if (g.grade == Grade::kCommit) {
+          world->decision.write(ctx, est);
+          ctx.decide(est);
+          return;
+        }
+      }
+    });
+  }
+  return programs;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,38 @@
+// Leader-based consensus from Omega_1 + commit-adopt (registers only).
+//
+// The boosting direction the paper cites in Section 1.3: consensus is
+// unsolvable in ASM(n, t, 1) for t >= 1, but adding the Omega failure
+// detector makes it solvable wait-free. Structure (the classic
+// round-based pattern):
+//
+//   est := my input
+//   for r = 0, 1, 2, ...:
+//     (grade, v) := CA[r].propose(est)        // commit-adopt round r
+//     est := v
+//     if grade = COMMIT:  write DEC := v; decide v
+//     if DEC != nil:      decide DEC           // fast path
+//     wait politely while leader() != me       // Omega gate
+//
+// Safety is pure commit-adopt: a round-r commit on v forces every
+// process through round r to carry v into all later rounds, so only v
+// can ever be committed or decided. Omega is used ONLY for liveness:
+// after stabilization a single correct leader runs rounds alone,
+// commits, and publishes the decision for everyone.
+#pragma once
+
+#include <memory>
+
+#include "src/core/commit_adopt.h"
+#include "src/oracles/omega.h"
+#include "src/registers/atomic_register.h"
+#include "src/runtime/execution.h"
+
+namespace mpcn {
+
+// Builds the n programs of the leader-based consensus algorithm. All
+// shared objects (commit-adopt rounds, decision register, the oracle)
+// are owned by the returned closure set.
+std::vector<Program> leader_consensus_programs(
+    int n, std::shared_ptr<OmegaX> oracle);
+
+}  // namespace mpcn

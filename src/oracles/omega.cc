@@ -1,0 +1,63 @@
+#include "src/oracles/omega.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+OmegaX::OmegaX(int n, int x, std::uint64_t stabilization_step,
+               std::uint64_t seed)
+    : n_(n), x_(x), stabilization_step_(stabilization_step), rng_(seed) {
+  if (x < 1 || x > n) throw ProtocolError("OmegaX needs 1 <= x <= n");
+}
+
+std::set<ProcessId> OmegaX::stable_set_locked(CrashManager& crashes) {
+  // The x lowest-id non-crashed processes (padded with crashed ones if
+  // fewer than x are alive — the spec only promises >= 1 correct member).
+  std::set<ProcessId> out;
+  for (ProcessId p = 0; p < n_ && static_cast<int>(out.size()) < x_; ++p) {
+    if (!crashes.is_crashed(p)) out.insert(p);
+  }
+  for (ProcessId p = 0; p < n_ && static_cast<int>(out.size()) < x_; ++p) {
+    out.insert(p);
+  }
+  return out;
+}
+
+std::set<ProcessId> OmegaX::query(ProcessContext& ctx) {
+  auto g = ctx.step();
+  CrashManager& crashes = ctx.backend().crashes();
+  const std::uint64_t now = ctx.backend().controller().steps();
+  std::lock_guard<std::mutex> lk(m_);
+  if (now < stabilization_step_) {
+    // Pre-stabilization: arbitrary (seeded) output, as the spec allows.
+    std::set<ProcessId> noise;
+    while (static_cast<int>(noise.size()) < x_) {
+      noise.insert(static_cast<ProcessId>(rng_.index(
+          static_cast<std::size_t>(n_))));
+    }
+    return noise;
+  }
+  // Post-stabilization: a fixed set — re-picked only if every member of
+  // the current choice has crashed (eventual accuracy re-established).
+  bool has_correct = false;
+  if (has_stable_) {
+    for (ProcessId p : stable_) {
+      if (!crashes.is_crashed(p)) {
+        has_correct = true;
+        break;
+      }
+    }
+  }
+  if (!has_stable_ || !has_correct) {
+    stable_ = stable_set_locked(crashes);
+    has_stable_ = true;
+  }
+  return stable_;
+}
+
+bool OmegaX::stabilized() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return has_stable_;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,58 @@
+// Omega_x failure detectors (Section 1.3, Neiger [29] / Guerraoui &
+// Kuznetsov [20]).
+//
+// "Omega_x outputs, at each process, a set of x processes such that
+//  eventually the same set is output at all correct processes and this
+//  set contains at least one correct process."
+//
+// Omega_1 is the classic Omega of Chandra-Hadzilacos-Toueg: an eventual
+// leader. Failure detectors are *oracles* — information about failures
+// the asynchronous model cannot compute itself — so the implementation
+// is harness-driven: queries before the (configurable) stabilization
+// step may return arbitrary seeded noise; queries at or after it return
+// the stable set, which the oracle picks as the x lowest-id non-crashed
+// processes at stabilization time (re-picking if its choice later
+// crashes, as a real Omega_x implementation's eventual accuracy would).
+//
+// The companion leader_consensus.h shows the boosting direction the
+// paper cites: read/write registers + commit-adopt + Omega_1 solve
+// consensus for any number of crashes — information about failures
+// substitutes for object strength.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/crash_plan.h"
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+class OmegaX {
+ public:
+  // n processes; |output| = x; noise before `stabilization_step` (global
+  // step clock), seeded.
+  OmegaX(int n, int x, std::uint64_t stabilization_step, std::uint64_t seed);
+
+  // The oracle query. One model step (reading a failure detector is an
+  // operation like any other).
+  std::set<ProcessId> query(ProcessContext& ctx);
+
+  // True once some query has returned the stable set.
+  bool stabilized() const;
+
+ private:
+  std::set<ProcessId> stable_set_locked(CrashManager& crashes);
+
+  const int n_;
+  const int x_;
+  const std::uint64_t stabilization_step_;
+  mutable std::mutex m_;
+  Rng rng_;
+  std::set<ProcessId> stable_;
+  bool has_stable_ = false;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,53 @@
+// Atomic multi-writer multi-reader registers of Value.
+//
+// The base communication object of the model (Section 2.3). One register
+// read or write is one atomic step: the mutation happens under the step
+// guard, so in lock-step mode register operations are serialized by the
+// schedule, and in free mode a short internal mutex provides the
+// linearization point (Values are variable-size, so a raw std::atomic is
+// not applicable; the mutex critical section is a handful of instructions
+// and bounded, which keeps operations effectively wait-free in practice).
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "src/common/value.h"
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+class AtomicRegister {
+ public:
+  explicit AtomicRegister(Value initial = Value::nil())
+      : value_(std::move(initial)) {}
+
+  Value read(ProcessContext& ctx) const;
+  void write(ProcessContext& ctx, Value v);
+
+  // Non-stepping peek for harness-side inspection (tests, printing).
+  Value peek() const;
+
+ private:
+  mutable std::mutex m_;
+  Value value_;
+};
+
+// A fixed-width array of atomic registers (collects read one entry at a
+// time — reading the whole array is *not* atomic; that is what snapshot
+// objects are for).
+class RegisterArray {
+ public:
+  explicit RegisterArray(int width, Value initial = Value::nil());
+
+  Value read(ProcessContext& ctx, int index) const;
+  void write(ProcessContext& ctx, int index, Value v);
+  int width() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  // deque: AtomicRegister holds a mutex and is neither copyable nor
+  // movable; deque constructs elements in place and never relocates them.
+  std::deque<AtomicRegister> cells_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,19 @@
+#include "src/runtime/cooperative_mutex.h"
+
+namespace mpcn {
+
+void CooperativeMutex::lock(ProcessContext& ctx) {
+  while (!try_lock()) {
+    ctx.yield();
+  }
+}
+
+bool CooperativeMutex::try_lock() {
+  return !locked_.exchange(true, std::memory_order_acquire);
+}
+
+void CooperativeMutex::unlock() {
+  locked_.store(false, std::memory_order_release);
+}
+
+}  // namespace mpcn

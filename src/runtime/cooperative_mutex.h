@@ -1,0 +1,48 @@
+// CooperativeMutex: the paper's mutex1 / mutex2 (Section 3.2.3, 3.3).
+//
+// "Let us notice that such a mutex object is purely local to each
+// simulator: it solves conflicts among the simulating threads inside each
+// simulator, and has nothing to do with the memory shared by the
+// simulators."
+//
+// The mutex yield-spins through the step controller instead of blocking
+// natively, so lock-step runs remain schedulable and a crashed/stopped
+// thread waiting for the mutex unwinds promptly. Crash semantics: if a
+// thread crashes while *holding* the mutex, the RAII lock releases it
+// during unwind — harmless, because the mutex is local to one crash
+// domain: every sibling thread is crashed too and will throw at its next
+// step before performing any shared-memory operation.
+#pragma once
+
+#include <atomic>
+
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+class CooperativeMutex {
+ public:
+  void lock(ProcessContext& ctx);
+  bool try_lock();
+  void unlock();
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII lock; the constructor may throw ProcessCrashed / SimulationHalted
+// out of the yield loop (in which case nothing is held).
+class CoopLock {
+ public:
+  CoopLock(CooperativeMutex& m, ProcessContext& ctx) : m_(&m) {
+    m_->lock(ctx);
+  }
+  CoopLock(const CoopLock&) = delete;
+  CoopLock& operator=(const CoopLock&) = delete;
+  ~CoopLock() { m_->unlock(); }
+
+ private:
+  CooperativeMutex* m_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,176 @@
+#include "src/runtime/crash_plan.h"
+
+#include <stdexcept>
+
+namespace mpcn {
+
+CrashPlan CrashPlan::none() { return CrashPlan{}; }
+
+CrashPlan CrashPlan::fixed(std::vector<CrashPoint> points) {
+  CrashPlan p;
+  p.kind_ = Kind::kFixed;
+  p.points_ = std::move(points);
+  return p;
+}
+
+CrashPlan CrashPlan::hazard(double per_step_probability, int max_crashes,
+                            std::uint64_t seed,
+                            std::set<ProcessId> eligible) {
+  if (per_step_probability < 0.0 || per_step_probability > 1.0) {
+    throw std::invalid_argument("hazard probability out of range");
+  }
+  CrashPlan p;
+  p.kind_ = Kind::kHazard;
+  p.probability_ = per_step_probability;
+  p.max_crashes_ = max_crashes;
+  p.seed_ = seed;
+  p.eligible_ = std::move(eligible);
+  return p;
+}
+
+CrashPlan CrashPlan::propose_trap(std::vector<std::string> keys,
+                                  int victims_per_key,
+                                  std::uint64_t extra_steps,
+                                  TrapPoint point) {
+  if (victims_per_key < 1) {
+    throw std::invalid_argument("propose_trap needs victims_per_key >= 1");
+  }
+  CrashPlan p;
+  p.kind_ = Kind::kProposeTrap;
+  p.trap_keys_ = std::move(keys);
+  p.victims_per_key_ = victims_per_key;
+  p.trap_extra_steps_ = extra_steps;
+  p.trap_point_ = point;
+  return p;
+}
+
+int CrashPlan::budget(int n) const {
+  switch (kind_) {
+    case Kind::kNone:
+      return 0;
+    case Kind::kFixed:
+      return static_cast<int>(points_.size());
+    case Kind::kHazard:
+      return std::min(max_crashes_, n);
+    case Kind::kProposeTrap:
+      return std::min(
+          static_cast<int>(trap_keys_.size()) * victims_per_key_, n);
+  }
+  return 0;
+}
+
+CrashManager::CrashManager(int n, CrashPlan plan)
+    : n_(n),
+      plan_(std::move(plan)),
+      rng_(plan_.seed_),
+      crashed_(static_cast<std::size_t>(n), false),
+      step_counts_(static_cast<std::size_t>(n), 0) {
+  for (const CrashPoint& cp : plan_.points_) {
+    if (cp.pid < 0 || cp.pid >= n) {
+      throw std::invalid_argument("crash point pid out of range");
+    }
+    fixed_points_[cp.pid] = cp.at_step;
+  }
+  for (const std::string& key : plan_.trap_keys_) {
+    trap_remaining_[key] = plan_.victims_per_key_;
+  }
+}
+
+void CrashManager::arm_trap(ThreadId tid, const std::string& key) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (crashed_[static_cast<std::size_t>(tid.pid)]) return;
+  if (armed_pids_.count(tid.pid)) return;  // one trap per process
+  auto it = trap_remaining_.find(key);
+  if (it == trap_remaining_.end() || it->second <= 0) return;
+  --it->second;
+  // Crash this victim after `extra_steps` more steps *of this thread* —
+  // inside the propose body it is executing.
+  armed_[tid] = plan_.trap_extra_steps_;
+  armed_pids_.insert(tid.pid);
+}
+
+void CrashManager::on_propose_enter(ThreadId tid, const std::string& key) {
+  if (plan_.kind_ != CrashPlan::Kind::kProposeTrap ||
+      plan_.trap_point_ != CrashPlan::TrapPoint::kProposeEntry) {
+    return;
+  }
+  arm_trap(tid, key);
+}
+
+void CrashManager::on_owner_elected(ThreadId tid, const std::string& key) {
+  if (plan_.kind_ != CrashPlan::Kind::kProposeTrap ||
+      plan_.trap_point_ != CrashPlan::TrapPoint::kOwnerElected) {
+    return;
+  }
+  arm_trap(tid, key);
+}
+
+bool CrashManager::on_step(ThreadId tid) {
+  const ProcessId pid = tid.pid;
+  std::lock_guard<std::mutex> lk(m_);
+  if (crashed_[static_cast<std::size_t>(pid)]) return true;
+  const std::uint64_t my_step = ++step_counts_[static_cast<std::size_t>(pid)];
+  switch (plan_.kind_) {
+    case CrashPlan::Kind::kNone:
+      return false;
+    case CrashPlan::Kind::kFixed: {
+      auto it = fixed_points_.find(pid);
+      if (it != fixed_points_.end() && my_step >= it->second) {
+        crashed_[static_cast<std::size_t>(pid)] = true;
+        ++crash_count_;
+        return true;
+      }
+      return false;
+    }
+    case CrashPlan::Kind::kProposeTrap: {
+      auto it = armed_.find(tid);
+      if (it == armed_.end()) return false;
+      if (it->second > 1) {
+        --it->second;
+        return false;
+      }
+      armed_.erase(it);
+      crashed_[static_cast<std::size_t>(pid)] = true;
+      ++crash_count_;
+      return true;
+    }
+    case CrashPlan::Kind::kHazard: {
+      if (crash_count_ >= plan_.max_crashes_) return false;
+      if (!plan_.eligible_.empty() && !plan_.eligible_.count(pid)) {
+        return false;
+      }
+      if (rng_.chance(plan_.probability_)) {
+        crashed_[static_cast<std::size_t>(pid)] = true;
+        ++crash_count_;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void CrashManager::crash_now(ProcessId pid) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (!crashed_[static_cast<std::size_t>(pid)]) {
+    crashed_[static_cast<std::size_t>(pid)] = true;
+    ++crash_count_;
+  }
+}
+
+bool CrashManager::is_crashed(ProcessId pid) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return crashed_[static_cast<std::size_t>(pid)];
+}
+
+int CrashManager::crash_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return crash_count_;
+}
+
+std::vector<bool> CrashManager::crashed_vector() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return crashed_;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,141 @@
+// Crash plans and the crash manager: the failure adversary.
+//
+// The paper's failure model (Section 2.3): an arbitrary subset of at most
+// t processes may crash; a crashed process executes no more steps. We
+// realize the adversary as a CrashPlan evaluated at every primitive step:
+//
+//  * none()   — failure-free runs,
+//  * fixed()  — process p crashes exactly at its k-th own step (counted
+//               across all threads of its crash domain). This is how tests
+//               place a crash *inside* a safe-agreement propose section,
+//               the critical scenario of Lemma 1 / Lemma 7,
+//  * hazard() — at every step of an eligible process, crash with
+//               probability p, subject to a budget of at most max_crashes
+//               processes. Seeded: deterministic under lock-step.
+//
+// Crash domains are whole processes: when a simulator crashes, all the
+// threads it forked for simulated processes stop with it ("after it has
+// crashed, a process executes no more steps").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+
+namespace mpcn {
+
+struct CrashPoint {
+  ProcessId pid = -1;
+  // The process crashes when its own step counter reaches this value
+  // (1-based: at_step = 1 crashes at the very first primitive step).
+  std::uint64_t at_step = 1;
+};
+
+class CrashPlan {
+ public:
+  static CrashPlan none();
+  static CrashPlan fixed(std::vector<CrashPoint> points);
+  static CrashPlan hazard(double per_step_probability, int max_crashes,
+                          std::uint64_t seed,
+                          std::set<ProcessId> eligible = {});
+
+  // White-box adversary for the simulation engine. Two trap points:
+  //
+  //  * kProposeEntry — for safe-agreement targets (x = 1): the first
+  //    `victims_per_key` threads entering a propose on the key are
+  //    crashed `extra_steps` own-steps later, landing between the
+  //    level-1 write and the stabilizing write. One victim poisons the
+  //    object deterministically.
+  //  * kOwnerElected — for x-safe-agreement targets (x > 1): the first
+  //    `victims_per_key` (= x) *elected owners* of the key's object are
+  //    crashed `extra_steps` (= 1) own-steps after winning their
+  //    test&set slot — before any SET_LIST scan step, so no owner ever
+  //    publishes and the object is poisoned deterministically (exactly
+  //    the x-crash scenario of Theorem 2 / Lemma 7).
+  //
+  // This realizes the blocking lemmas' adversary exactly, making
+  // impossibility witnesses deterministic instead of a crash-timing
+  // lottery. Total budget: keys.size() * victims_per_key crashes.
+  enum class TrapPoint { kProposeEntry, kOwnerElected };
+  static CrashPlan propose_trap(std::vector<std::string> keys,
+                                int victims_per_key,
+                                std::uint64_t extra_steps,
+                                TrapPoint point = TrapPoint::kProposeEntry);
+
+  // Total number of processes this plan may crash (the adversary budget).
+  int budget(int n) const;
+
+ private:
+  friend class CrashManager;
+  enum class Kind { kNone, kFixed, kHazard, kProposeTrap };
+  Kind kind_ = Kind::kNone;
+  std::vector<CrashPoint> points_;
+  double probability_ = 0.0;
+  int max_crashes_ = 0;
+  std::uint64_t seed_ = 0;
+  std::set<ProcessId> eligible_;
+  std::vector<std::string> trap_keys_;
+  int victims_per_key_ = 0;
+  std::uint64_t trap_extra_steps_ = 0;
+  TrapPoint trap_point_ = TrapPoint::kProposeEntry;
+};
+
+// Runtime state of the adversary for one execution.
+class CrashManager {
+ public:
+  CrashManager(int n, CrashPlan plan);
+
+  // Called on every primitive step of a thread (under the step token in
+  // lock-step mode, so hazard decisions are deterministic). Crash
+  // semantics are per-process (crash domain = tid.pid); the thread
+  // identity is needed so propose traps can count the *armed thread's*
+  // own steps into the propose body.
+  // Returns true if the process must crash at this step; the manager has
+  // already recorded the crash when it returns true.
+  bool on_step(ThreadId tid);
+
+  // Engine hook: thread `tid` is entering an agreement-propose section
+  // on `key` (with mutex1 already held). Arms a pending crash if the
+  // plan traps this key at kProposeEntry; no-op otherwise.
+  void on_propose_enter(ThreadId tid, const std::string& key);
+
+  // Engine hook: thread `tid` just won an ownership slot of the
+  // x-safe-agreement object `key`. Arms a pending crash if the plan
+  // traps this key at kOwnerElected; no-op otherwise.
+  void on_owner_elected(ThreadId tid, const std::string& key);
+
+  // Force-crash a process (used by tests to model external failures).
+  void crash_now(ProcessId pid);
+
+  bool is_crashed(ProcessId pid) const;
+  int crash_count() const;
+  std::vector<bool> crashed_vector() const;
+
+ private:
+  void arm_trap(ThreadId tid, const std::string& key);
+
+  const int n_;
+  CrashPlan plan_;
+  mutable std::mutex m_;
+  Rng rng_;
+  std::vector<bool> crashed_;
+  std::vector<std::uint64_t> step_counts_;
+  int crash_count_ = 0;
+  // pid -> own-step at which to crash (fixed plans).
+  std::map<ProcessId, std::uint64_t> fixed_points_;
+  // trap key -> victims still to assign.
+  std::map<std::string, int> trap_remaining_;
+  // armed thread -> remaining own-steps until the crash fires.
+  std::map<ThreadId, std::uint64_t> armed_;
+  // pids with an armed thread (one trap assignment per process).
+  std::set<ProcessId> armed_pids_;
+};
+
+}  // namespace mpcn

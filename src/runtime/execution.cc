@@ -1,0 +1,178 @@
+#include "src/runtime/execution.h"
+
+#include <thread>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+int Outcome::decided_count() const {
+  int c = 0;
+  for (const auto& d : decisions) c += d.has_value() ? 1 : 0;
+  return c;
+}
+
+bool Outcome::all_correct_decided() const {
+  for (std::size_t j = 0; j < decisions.size(); ++j) {
+    if (!crashed[j] && !decisions[j].has_value()) return false;
+  }
+  return true;
+}
+
+std::set<Value> Outcome::distinct_decisions() const {
+  std::set<Value> s;
+  for (const auto& d : decisions) {
+    if (d) s.insert(*d);
+  }
+  return s;
+}
+
+Execution::Execution(std::vector<Program> programs, std::vector<Value> inputs,
+                     ExecutionOptions options)
+    : n_(static_cast<int>(programs.size())),
+      programs_(std::move(programs)),
+      inputs_(std::move(inputs)),
+      options_(std::move(options)),
+      decisions_(static_cast<std::size_t>(n_)),
+      sub_counters_(static_cast<std::size_t>(n_), 1) {
+  if (inputs_.size() != static_cast<std::size_t>(n_)) {
+    throw ProtocolError("inputs size must match program count");
+  }
+  if (options_.mode == SchedulerMode::kLockstep) {
+    controller_ = std::make_unique<LockstepController>(options_.seed,
+                                                       options_.step_limit);
+  } else {
+    controller_ = std::make_unique<FreeController>(options_.step_limit);
+  }
+  crash_mgr_ = std::make_unique<CrashManager>(n_, options_.crashes);
+}
+
+Execution::~Execution() = default;
+
+void Execution::record_decision(ProcessId pid, const Value& v) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!decisions_[static_cast<std::size_t>(pid)].has_value()) {
+      decisions_[static_cast<std::size_t>(pid)] = v;
+    }
+    cv_.notify_all();
+  }
+  maybe_stop_all_correct_decided();
+}
+
+void Execution::note_crash(ProcessId) { maybe_stop_all_correct_decided(); }
+
+void Execution::maybe_stop_all_correct_decided() {
+  if (!options_.stop_when_all_correct_decided ||
+      controller_->stop_requested()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  for (ProcessId pid = 0; pid < n_; ++pid) {
+    if (!decisions_[static_cast<std::size_t>(pid)].has_value() &&
+        !crash_mgr_->is_crashed(pid)) {
+      return;
+    }
+  }
+  controller_->request_stop();
+}
+
+bool Execution::has_decision(ProcessId pid) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return decisions_[static_cast<std::size_t>(pid)].has_value();
+}
+
+Value Execution::input_of(ProcessId pid) const {
+  return inputs_[static_cast<std::size_t>(pid)];
+}
+
+int Execution::next_sub(ProcessId pid) {
+  std::lock_guard<std::mutex> lk(m_);
+  return sub_counters_[static_cast<std::size_t>(pid)]++;
+}
+
+Outcome Execution::run() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (ran_) throw ProtocolError("Execution::run is single-use");
+    ran_ = true;
+  }
+
+  std::vector<std::unique_ptr<ProcessContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(n_));
+  for (ProcessId pid = 0; pid < n_; ++pid) {
+    contexts.push_back(
+        std::make_unique<ProcessContext>(ThreadId{pid, 0}, this));
+    // Register before any thread starts: the lock-step live set must not
+    // depend on OS spawn timing.
+    controller_->enter(ThreadId{pid, 0});
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_));
+  for (ProcessId pid = 0; pid < n_; ++pid) {
+    threads.emplace_back([this, pid, &contexts] {
+      ProcessContext& ctx = *contexts[static_cast<std::size_t>(pid)];
+      try {
+        programs_[static_cast<std::size_t>(pid)](ctx);
+      } catch (const ProcessCrashed&) {
+        // The crash event: the process simply stops taking steps.
+      } catch (const SimulationHalted&) {
+        // Run ended under this thread.
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!error_) error_ = std::current_exception();
+        controller_->request_stop();
+      }
+      controller_->leave(ctx.tid());
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        ++threads_done_;
+      }
+      cv_.notify_all();
+    });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + options_.wall_limit;
+  bool wall_timed_out = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    while (threads_done_ < n_) {
+      cv_.wait_for(lk, std::chrono::milliseconds(20));
+      if (options_.stop_when_all_correct_decided &&
+          !controller_->stop_requested()) {
+        bool all = true;
+        for (ProcessId pid = 0; pid < n_; ++pid) {
+          if (!decisions_[static_cast<std::size_t>(pid)].has_value() &&
+              !crash_mgr_->is_crashed(pid)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) controller_->request_stop();
+      }
+      if (!wall_timed_out && std::chrono::steady_clock::now() > deadline) {
+        wall_timed_out = true;
+        controller_->request_stop();
+      }
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (error_) std::rethrow_exception(error_);
+
+  Outcome out;
+  out.decisions = decisions_;
+  out.crashed = crash_mgr_->crashed_vector();
+  out.timed_out = controller_->timed_out() || wall_timed_out;
+  out.steps = controller_->steps();
+  return out;
+}
+
+Outcome run_execution(std::vector<Program> programs, std::vector<Value> inputs,
+                      ExecutionOptions options) {
+  Execution e(std::move(programs), std::move(inputs), std::move(options));
+  return e.run();
+}
+
+}  // namespace mpcn

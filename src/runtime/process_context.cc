@@ -1,0 +1,113 @@
+#include "src/runtime/process_context.h"
+
+namespace mpcn {
+
+struct ChildHandle::State {
+  std::unique_ptr<ProcessContext> ctx;
+  ExecutionBackend* backend = nullptr;
+  ThreadId parent_tid{};
+  std::atomic<bool> done{false};
+  std::exception_ptr error;
+  std::thread thread;
+};
+
+StepGuard ProcessContext::step() {
+  StepController& c = backend_->controller();
+  if (!c.acquire(tid_)) throw SimulationHalted();
+  // Crash evaluation happens while holding the token so that hazard-plan
+  // randomness is consumed at a deterministic point of the schedule.
+  if (backend_->crashes().on_step(tid_)) {
+    backend_->note_crash(pid());  // stop-condition check, still on-token
+    c.release(tid_);
+    throw ProcessCrashed(pid());
+  }
+  if (cancel_.load(std::memory_order_acquire)) {
+    c.release(tid_);
+    throw SimulationHalted();
+  }
+  return StepGuard(&c, tid_);
+}
+
+bool ProcessContext::stopping() const {
+  return cancel_.load(std::memory_order_acquire) ||
+         backend_->controller().stop_requested();
+}
+
+ChildHandle ProcessContext::fork(std::function<void(ProcessContext&)> fn) {
+  auto s = std::make_shared<ChildHandle::State>();
+  const ThreadId child_tid{pid(), backend_->next_sub(pid())};
+  s->ctx = std::make_unique<ProcessContext>(child_tid, backend_);
+  s->backend = backend_;
+  s->parent_tid = tid_;
+  // Register the child before it starts so the lock-step live set evolves
+  // at a deterministic point (the parent's own execution).
+  backend_->controller().enter(child_tid);
+  s->thread = std::thread([s, fn = std::move(fn)] {
+    try {
+      fn(*s->ctx);
+    } catch (const ProcessCrashed&) {
+      // The crash of the domain: nothing to do, the thread just stops.
+    } catch (const SimulationHalted&) {
+      // Run over / thread cancelled.
+    } catch (...) {
+      s->error = std::current_exception();
+    }
+    // Publish done-ness BEFORE leaving the controller: while this thread
+    // is alive and unparked no other thread can be granted a step, so
+    // the store lands inside an exclusive window and every observer sees
+    // it at a schedule-determined point (lock-step determinism).
+    s->done.store(true, std::memory_order_release);
+    s->backend->controller().leave(s->ctx->tid());
+  });
+  ChildHandle h;
+  h.s_ = std::move(s);
+  return h;
+}
+
+void ChildHandle::join(ProcessContext& parent) {
+  if (!s_) return;
+  while (!s_->done.load(std::memory_order_acquire)) {
+    parent.yield();
+  }
+  if (s_->thread.joinable()) s_->thread.join();
+  if (s_->error) {
+    auto e = s_->error;
+    s_->error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ChildHandle::cancel() {
+  if (s_ && s_->ctx) {
+    s_->ctx->cancel_.store(true, std::memory_order_release);
+  }
+}
+
+bool ChildHandle::done() const {
+  return s_ && s_->done.load(std::memory_order_acquire);
+}
+
+std::exception_ptr ChildHandle::error() const {
+  if (!s_ || !s_->done.load(std::memory_order_acquire)) return nullptr;
+  return s_->error;
+}
+
+ChildHandle::~ChildHandle() {
+  if (!s_ || !s_->thread.joinable()) return;
+  cancel();
+  // The parent is abandoning the child (normal shutdown path or
+  // exception unwind). While we block in the native join, remove the
+  // parent from the lock-step grant set so the child can be granted the
+  // steps it needs to observe the cancel flag and unwind.
+  //
+  // Done unconditionally — NOT gated on done() — so the controller-state
+  // trace is independent of the (racy) question of whether the child's
+  // exit epilogue has finished yet; this keeps lock-step schedules
+  // replayable through simulator shutdown.
+  StepController& c = s_->backend->controller();
+  c.leave(s_->parent_tid);
+  s_->thread.join();
+  c.enter(s_->parent_tid);
+}
+
+}  // namespace mpcn

@@ -1,0 +1,4 @@
+#include "src/runtime/shared_world.h"
+
+// Header-only; this translation unit exists to give the module a home in
+// the build and to catch header self-containment regressions.

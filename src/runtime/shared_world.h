@@ -1,0 +1,69 @@
+// SharedWorld: a named registry of shared objects.
+//
+// The simulations use unbounded arrays of agreement objects — e.g.
+// SAFE_AG[1..n, 0..infinity) in Figure 3 — which we realize by lazy,
+// race-safe creation keyed by name ("SAFE_AG/3/17"). Object *creation* is
+// a harness-level action, not a model step: the formal model assumes the
+// whole (infinite) array exists up front; lazily materializing an entry
+// the first time any simulator touches it is observationally equivalent
+// because entries are created in a fixed initial state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+class SharedWorld {
+ public:
+  // Returns the object registered under `key`, creating it with `make`
+  // if absent. All concurrent creators must pass equivalent factories
+  // (guaranteed by construction in the engine: the factory depends only
+  // on the key). Throws ProtocolError on a type mismatch.
+  template <typename T>
+  std::shared_ptr<T> get_or_create(const std::string& key,
+                                   const std::function<std::shared_ptr<T>()>& make) {
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      auto obj = make();
+      it = objects_.emplace(key, Entry{std::type_index(typeid(T)), obj}).first;
+    } else if (it->second.type != std::type_index(typeid(T))) {
+      throw ProtocolError("SharedWorld type mismatch for key " + key);
+    }
+    return std::static_pointer_cast<T>(it->second.ptr);
+  }
+
+  // Lookup without creation; returns nullptr if absent or wrong type.
+  template <typename T>
+  std::shared_ptr<T> find(const std::string& key) const {
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = objects_.find(key);
+    if (it == objects_.end() || it->second.type != std::type_index(typeid(T))) {
+      return nullptr;
+    }
+    return std::static_pointer_cast<T>(it->second.ptr);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return objects_.size();
+  }
+
+ private:
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<void> ptr;
+  };
+  mutable std::mutex m_;
+  std::unordered_map<std::string, Entry> objects_;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,139 @@
+#include "src/runtime/step_controller.h"
+
+#include <atomic>
+#include <vector>
+
+namespace mpcn {
+
+// ---------------------------------------------------------------- Free mode
+
+FreeController::FreeController(std::uint64_t step_limit)
+    : step_limit_(step_limit) {}
+
+bool FreeController::acquire(ThreadId) { return !stop_.load(); }
+
+void FreeController::release(ThreadId) {
+  const std::uint64_t s = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s >= step_limit_ && !stop_.exchange(true)) {
+    timed_out_.store(true);
+  }
+}
+
+void FreeController::request_stop() { stop_.store(true); }
+bool FreeController::stop_requested() const { return stop_.load(); }
+bool FreeController::timed_out() const { return timed_out_.load(); }
+std::uint64_t FreeController::steps() const {
+  return steps_.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ Lockstep mode
+
+LockstepController::LockstepController(std::uint64_t seed,
+                                       std::uint64_t step_limit)
+    : rng_(seed), step_limit_(step_limit) {}
+
+LockstepController::Waiter& LockstepController::waiter_for(ThreadId tid) {
+  auto it = waiters_.find(tid);
+  if (it == waiters_.end()) {
+    it = waiters_.emplace(tid, std::make_unique<Waiter>()).first;
+  }
+  return *it->second;
+}
+
+void LockstepController::enter(ThreadId tid) {
+  std::lock_guard<std::mutex> lk(m_);
+  alive_.insert(tid);
+}
+
+void LockstepController::leave(ThreadId tid) {
+  std::lock_guard<std::mutex> lk(m_);
+  alive_.erase(tid);
+  parked_.erase(tid);
+  maybe_grant();
+}
+
+void LockstepController::maybe_grant() {
+  if (stop_ || has_holder_) return;
+  // Deterministic grant: wait until *every* live thread is parked, then
+  // draw uniformly. std::set iteration is ordered, so the draw depends
+  // only on the RNG state and the (deterministic) set contents.
+  if (parked_.empty() || parked_.size() != alive_.size()) return;
+  auto it = parked_.begin();
+  std::advance(it, static_cast<long>(rng_.index(parked_.size())));
+  holder_ = *it;
+  has_holder_ = true;
+  if (trace_) {
+    grant_trace_.push_back(holder_);
+    std::string set;
+    for (const ThreadId& t : parked_) set += t.to_string() + ",";
+    grant_sets_.push_back(std::move(set));
+  }
+  // Targeted wakeup: only the granted thread needs to run.
+  waiter_for(holder_).cv.notify_all();
+}
+
+bool LockstepController::acquire(ThreadId tid) {
+  std::unique_lock<std::mutex> lk(m_);
+  parked_.insert(tid);
+  Waiter& w = waiter_for(tid);
+  maybe_grant();
+  w.cv.wait(lk, [&] { return stop_ || (has_holder_ && holder_ == tid); });
+  parked_.erase(tid);
+  if (stop_) {
+    // Give up a token we may have been granted concurrently with the stop.
+    if (has_holder_ && holder_ == tid) has_holder_ = false;
+    return false;
+  }
+  return true;
+}
+
+void LockstepController::release(ThreadId tid) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (has_holder_ && holder_ == tid) has_holder_ = false;
+  ++steps_;
+  if (steps_ >= step_limit_ && !stop_) {
+    stop_ = true;
+    timed_out_ = true;
+    for (auto& [id, w] : waiters_) w->cv.notify_all();
+    return;
+  }
+  maybe_grant();
+}
+
+void LockstepController::request_stop() {
+  std::lock_guard<std::mutex> lk(m_);
+  stop_ = true;
+  for (auto& [id, w] : waiters_) w->cv.notify_all();
+}
+
+bool LockstepController::stop_requested() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stop_;
+}
+
+bool LockstepController::timed_out() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return timed_out_;
+}
+
+std::uint64_t LockstepController::steps() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return steps_;
+}
+
+std::vector<ThreadId> LockstepController::grant_trace() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return grant_trace_;
+}
+
+std::vector<std::string> LockstepController::grant_sets() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return grant_sets_;
+}
+
+void LockstepController::enable_grant_trace() {
+  std::lock_guard<std::mutex> lk(m_);
+  trace_ = true;
+}
+
+}  // namespace mpcn

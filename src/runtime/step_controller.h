@@ -1,0 +1,135 @@
+// Step controllers: the scheduling substrate of the library.
+//
+// The paper's formal model is an interleaving model: a run is a sequence of
+// atomic steps, one per shared-memory primitive operation, chosen by an
+// asynchronous adversary. We reproduce it two ways:
+//
+//  * FreeController   — real hardware concurrency. acquire()/release() are
+//    nearly free; threads race as the OS schedules them. Used for stress
+//    tests and performance benches.
+//  * LockstepController — a deterministic seeded adversary. A thread must
+//    hold the (single) step token to perform a shared-memory operation.
+//    The token is granted only when every live thread is parked waiting
+//    for it, and the next holder is drawn from the seeded RNG. Given a
+//    seed, the interleaving of shared-memory steps is reproducible, which
+//    is what makes the crash-injection tests of the paper's blocking
+//    lemmas (Lemma 1, Lemma 7) precise.
+//
+// All protocol-level blocking in the library is yield-spinning through a
+// controller (no native blocking), so lock-step runs cannot deadlock on
+// hidden OS-level waits.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+
+namespace mpcn {
+
+enum class SchedulerMode { kFree, kLockstep };
+
+class StepController {
+ public:
+  virtual ~StepController() = default;
+
+  // Thread lifecycle. enter() must be called by the *creator* of the thread
+  // before the thread starts (so the set of live threads evolves
+  // deterministically); leave() is called by the thread itself on exit.
+  virtual void enter(ThreadId tid) = 0;
+  virtual void leave(ThreadId tid) = 0;
+
+  // Acquire the step token (blocking in lock-step mode). Returns false if
+  // the run has been stopped instead of granting.
+  virtual bool acquire(ThreadId tid) = 0;
+  // Release the token after the atomic operation; advances the step clock.
+  virtual void release(ThreadId tid) = 0;
+
+  virtual void request_stop() = 0;
+  virtual bool stop_requested() const = 0;
+  virtual bool timed_out() const = 0;
+
+  // Number of completed steps (the global step clock).
+  virtual std::uint64_t steps() const = 0;
+
+  // Debugging: the sequence of granted thread ids (lock-step only; empty
+  // unless tracing was enabled). Used by determinism diagnostics.
+  virtual std::vector<ThreadId> grant_trace() const { return {}; }
+  virtual void enable_grant_trace() {}
+};
+
+// Free-running controller: no serialization, only step counting and the
+// stop flag / step budget.
+class FreeController : public StepController {
+ public:
+  explicit FreeController(std::uint64_t step_limit);
+
+  void enter(ThreadId) override {}
+  void leave(ThreadId) override {}
+  bool acquire(ThreadId) override;
+  void release(ThreadId) override;
+  void request_stop() override;
+  bool stop_requested() const override;
+  bool timed_out() const override;
+  std::uint64_t steps() const override;
+
+ private:
+  const std::uint64_t step_limit_;
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> timed_out_{false};
+};
+
+// Deterministic lock-step controller (see file comment).
+class LockstepController : public StepController {
+ public:
+  LockstepController(std::uint64_t seed, std::uint64_t step_limit);
+
+  void enter(ThreadId tid) override;
+  void leave(ThreadId tid) override;
+  bool acquire(ThreadId tid) override;
+  void release(ThreadId tid) override;
+  void request_stop() override;
+  bool stop_requested() const override;
+  bool timed_out() const override;
+  std::uint64_t steps() const override;
+  std::vector<ThreadId> grant_trace() const override;
+  void enable_grant_trace() override;
+  std::vector<std::string> grant_sets() const;
+
+ private:
+  // One condition variable per thread: grants wake only the chosen
+  // thread, avoiding an O(threads) thundering herd on every step.
+  struct Waiter {
+    std::condition_variable cv;
+  };
+
+  // Grants the token if every live thread is parked and none holds it.
+  // Caller must hold m_.
+  void maybe_grant();
+  Waiter& waiter_for(ThreadId tid);  // caller must hold m_
+
+  mutable std::mutex m_;
+  Rng rng_;
+  const std::uint64_t step_limit_;
+  std::uint64_t steps_ = 0;
+  std::set<ThreadId> alive_;
+  std::set<ThreadId> parked_;
+  std::map<ThreadId, std::unique_ptr<Waiter>> waiters_;
+  bool has_holder_ = false;
+  ThreadId holder_{};
+  bool stop_ = false;
+  bool timed_out_ = false;
+  bool trace_ = false;
+  std::vector<ThreadId> grant_trace_;
+  std::vector<std::string> grant_sets_;
+};
+
+}  // namespace mpcn

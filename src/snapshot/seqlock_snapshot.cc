@@ -1,0 +1,29 @@
+#include "src/snapshot/seqlock_snapshot.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+RwLockSnapshot::RwLockSnapshot(int width, bool check_ownership)
+    : check_ownership_(check_ownership),
+      entries_(static_cast<std::size_t>(width)) {}
+
+void RwLockSnapshot::write(ProcessContext& ctx, int index, const Value& v) {
+  if (index < 0 || index >= width()) {
+    throw ProtocolError("RwLockSnapshot write index out of range");
+  }
+  if (check_ownership_ && index != ctx.pid()) {
+    throw ProtocolError("RwLockSnapshot entry not owned by writer");
+  }
+  auto g = ctx.step();
+  std::unique_lock<std::shared_mutex> lk(m_);
+  entries_[static_cast<std::size_t>(index)] = v;
+}
+
+std::vector<Value> RwLockSnapshot::snapshot(ProcessContext& ctx) {
+  auto g = ctx.step();
+  std::shared_lock<std::shared_mutex> lk(m_);
+  return entries_;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,174 @@
+#include "src/tasks/algorithms.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/errors.h"
+#include "src/common/ids.h"
+
+namespace mpcn {
+
+SimulatedAlgorithm trivial_kset_algorithm(int n, int t) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, t, 1};
+  a.model.validate();
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([n, t](SimContext& sc) {
+      sc.write(sc.input());
+      for (;;) {
+        const std::vector<Value> snap = sc.snapshot();
+        Value best = Value::nil();
+        int count = 0;
+        for (const Value& v : snap) {
+          if (v.is_nil()) continue;
+          ++count;
+          if (best.is_nil() || v < best) best = v;
+        }
+        if (count >= n - t) {
+          sc.decide(best);
+          return;
+        }
+      }
+    });
+  }
+  return a;
+}
+
+SimulatedAlgorithm group_kset_algorithm(int n, int t, int x) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, t, x};
+  a.model.validate();
+  const int g = floor_div(n, x);
+  const int f = floor_div(t, x);
+  if (g <= f) {
+    throw ProtocolError(
+        "group_kset_algorithm precondition ⌊n/x⌋ > ⌊t/x⌋ violated");
+  }
+  for (int c = 0; c < g; ++c) {
+    XConsDecl d;
+    d.name = "G" + std::to_string(c);
+    for (int j = c * x; j < (c + 1) * x; ++j) d.ports.insert(j);
+    a.xcons.push_back(std::move(d));
+  }
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([j, x, g, f](SimContext& sc) {
+      const int c = j / x;
+      if (c < g) {
+        // Group member: funnel the group's inputs through its object and
+        // publish the group result.
+        const Value r =
+            sc.x_cons_propose("G" + std::to_string(c), sc.input());
+        sc.write(Value::list({Value("R"), Value(c), r}));
+      }
+      // Everyone (members and leftover waiters) waits for enough group
+      // results and decides the minimum result seen.
+      for (;;) {
+        const std::vector<Value> snap = sc.snapshot();
+        std::set<std::int64_t> groups_seen;
+        Value best = Value::nil();
+        for (const Value& v : snap) {
+          if (!v.is_list() || v.size() != 3) continue;
+          groups_seen.insert(v.at(1).as_int());
+          const Value& r = v.at(2);
+          if (best.is_nil() || r < best) best = r;
+        }
+        if (static_cast<int>(groups_seen.size()) >= g - f) {
+          sc.decide(best);
+          return;
+        }
+      }
+    });
+  }
+  return a;
+}
+
+SimulatedAlgorithm single_object_consensus_algorithm(int n, int t, int x) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, t, x};
+  a.model.validate();
+  if (x < n) {
+    throw ProtocolError(
+        "single_object_consensus_algorithm needs x >= n (one object shared "
+        "by everybody)");
+  }
+  XConsDecl d;
+  d.name = "C";
+  for (int j = 0; j < n; ++j) d.ports.insert(j);
+  a.xcons.push_back(std::move(d));
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([](SimContext& sc) {
+      sc.decide(sc.x_cons_propose("C", sc.input()));
+    });
+  }
+  return a;
+}
+
+SimulatedAlgorithm snapshot_renaming_algorithm(int n, int t) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, t < 0 ? n - 1 : t, 1};
+  a.model.validate();
+  std::vector<Value> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) ids.push_back(Value(j));
+  a.static_inputs = std::move(ids);
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([n](SimContext& sc) {
+      const std::int64_t my_id = sc.input().as_int();
+      std::int64_t prop = 1;
+      // Wait-freedom bound: the classic proof gives termination; the
+      // iteration cap turns a livelock bug into a loud failure.
+      for (int rounds = 0; rounds < 64 * n * n; ++rounds) {
+        sc.write(Value::pair(Value(my_id), Value(prop)));
+        const std::vector<Value> snap = sc.snapshot();
+        std::set<std::int64_t> other_props;
+        std::set<std::int64_t> competitor_ids;
+        for (const Value& v : snap) {
+          if (!v.is_list() || v.size() != 2) continue;
+          const std::int64_t id = v.at(0).as_int();
+          if (id == my_id) continue;
+          other_props.insert(v.at(1).as_int());
+          competitor_ids.insert(id);
+        }
+        if (!other_props.count(prop)) {
+          sc.decide(Value(prop));
+          return;
+        }
+        // Rank of my id among all participants seen (1-based).
+        competitor_ids.insert(my_id);
+        int rank = 0;
+        for (std::int64_t id : competitor_ids) {
+          ++rank;
+          if (id == my_id) break;
+        }
+        // The rank-th free name (names not proposed by others).
+        std::int64_t candidate = 0;
+        for (int skipped = 0; skipped < rank;) {
+          ++candidate;
+          if (!other_props.count(candidate)) ++skipped;
+        }
+        prop = candidate;
+      }
+      throw ProtocolError("snapshot renaming exceeded its round budget");
+    });
+  }
+  return a;
+}
+
+SimulatedAlgorithm identity_colored_algorithm(int n, int t, int x) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, t, x};
+  a.model.validate();
+  std::vector<Value> ids;
+  for (int j = 0; j < n; ++j) ids.push_back(Value(j));
+  a.static_inputs = std::move(ids);
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([](SimContext& sc) {
+      sc.write(sc.input());
+      (void)sc.snapshot();
+      sc.decide(Value(sc.input().as_int() + 1));  // unique name j+1
+    });
+  }
+  return a;
+}
+
+}  // namespace mpcn

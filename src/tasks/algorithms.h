@@ -1,0 +1,54 @@
+// The algorithm zoo: concrete t-resilient algorithms expressed against
+// the SimContext API, used as simulation sources, baselines and workloads.
+#pragma once
+
+#include "src/core/sim_api.h"
+
+namespace mpcn {
+
+// The classic t-resilient k-set agreement algorithm for ASM(n, t, 1),
+// correct for every k >= t+1 ("it is trivial to solve k-set agreement in
+// asynchronous read/write systems prone to t < k crashes", Section 1.1):
+// write your input, snapshot until >= n-t inputs are visible, decide the
+// minimum visible input. At most t+1 distinct values are decided.
+SimulatedAlgorithm trivial_kset_algorithm(int n, int t);
+
+// The natural *direct* algorithm in ASM(n, t, x) achieving the paper's
+// frontier k = ⌊t/x⌋ + 1:
+//   processes are partitioned into g = ⌊n/x⌋ full groups of x (leftover
+//   processes join as waiters); group c funnels its inputs through the
+//   x-ported consensus object "G<c>" and publishes ("R", c, result);
+//   everyone waits until >= g - ⌊t/x⌋ groups have published and decides
+//   the minimum published result.
+// Killing one group's result costs x crashes, so at most f = ⌊t/x⌋ groups
+// stay silent, every waiter sees >= g - f results, and decisions are
+// minima missing at most f published values: at most f+1 distinct.
+// Precondition: ⌊n/x⌋ > ⌊t/x⌋ (otherwise the wait may never be served);
+// violated preconditions throw ProtocolError at construction.
+SimulatedAlgorithm group_kset_algorithm(int n, int t, int x);
+
+// Wait-free consensus among all n processes through one n-ported
+// consensus object (legal only when the model grants x >= n; used to
+// exercise the Figure 4 simulation path and the x > t regime where
+// "all tasks can be solved").
+SimulatedAlgorithm single_object_consensus_algorithm(int n, int t, int x);
+
+// The classic wait-free snapshot-based adaptive renaming algorithm
+// (Attiya et al. [3] style): propose a name, snapshot, on collision
+// re-propose the r-th free name where r is the rank of your id among
+// competitors; decide on a collision-free proposal. Decides
+// pairwise-distinct names in [1, 2n-1]. A *colored* task: inputs are the
+// identities (static_inputs = 0..n-1).
+//
+// The algorithm is wait-free, hence t-resilient for every t; `t` declares
+// the model the instance is stamped with (default n-1 = wait-free). A
+// smaller t matters for colored simulation, whose Section 5.5 size
+// condition n >= (n'-t')+t depends on the declared t.
+SimulatedAlgorithm snapshot_renaming_algorithm(int n, int t = -1);
+
+// A trivially-colored diagnostic task: p_j immediately decides the unique
+// name j+1 after one write/snapshot round. Used to exercise the colored
+// engine's claim machinery in isolation from renaming's retry logic.
+SimulatedAlgorithm identity_colored_algorithm(int n, int t, int x);
+
+}  // namespace mpcn

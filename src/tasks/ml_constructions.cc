@@ -1,0 +1,43 @@
+#include "src/tasks/ml_constructions.h"
+
+#include <memory>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+int ml_construction_k(int n, int m, int l) {
+  if (n < 1 || m < 1 || l < 1) throw ProtocolError("bad (n,m,l)");
+  const int groups = (n + m - 1) / m;
+  return groups * l;
+}
+
+bool ml_kset_constructible(int n, int k, int m, int l) {
+  if (n < 1 || k < 1 || m < 1 || l < 1) throw ProtocolError("bad params");
+  // possible iff n/k <= m/l  <=>  n*l <= k*m (integer-exact).
+  return static_cast<long long>(n) * l <= static_cast<long long>(k) * m;
+}
+
+std::vector<Program> kset_from_ml_objects(int n, int m, int l) {
+  if (n < 1 || m < 1 || l < 1) throw ProtocolError("bad (n,m,l)");
+  const int groups = (n + m - 1) / m;
+  // One (m,l) object per group, ports = the group's pids.
+  std::vector<std::shared_ptr<KSetObject>> objects;
+  objects.reserve(static_cast<std::size_t>(groups));
+  for (int c = 0; c < groups; ++c) {
+    std::set<ProcessId> ports;
+    for (int j = c * m; j < std::min(n, (c + 1) * m); ++j) ports.insert(j);
+    objects.push_back(std::make_shared<KSetObject>(std::move(ports), l));
+  }
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    auto obj = objects[static_cast<std::size_t>(j / m)];
+    programs.push_back([obj](ProcessContext& ctx) {
+      ctx.decide(obj->propose(ctx, ctx.input()));
+    });
+  }
+  return programs;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,36 @@
+// Constructions from (m,l)-set agreement objects (Section 1.3 related
+// work: Borowsky-Gafni's set-consensus hierarchy [7], Chaudhuri-Reiners
+// [13]).
+//
+// Positive direction, wait-free: partition n processes into ceil(n/m)
+// groups of at most m; each group funnels its proposals through one
+// (m,l)-set object and members decide the returned value directly. At
+// most l distinct values escape each group, so this solves k-set
+// agreement for k = ceil(n/m) * l with NO waiting (correct even
+// wait-free, t = n-1).
+//
+// The matching negative bound — an (n,k)-set object cannot be built from
+// (m,l) objects when n/k > m/l — is analytic (proved via the BG
+// simulation in [7]); ml_kset_bound() exposes the arithmetic and the
+// tests check our construction is tight against it.
+#pragma once
+
+#include <vector>
+
+#include "src/objects/k_set_object.h"
+#include "src/runtime/execution.h"
+
+namespace mpcn {
+
+// k achieved by the partition construction.
+int ml_construction_k(int n, int m, int l);
+
+// True iff (n,k)-set agreement is constructible from (m,l) objects per
+// the Borowsky-Gafni bound (possible iff n/k <= m/l, i.e. n*l <= k*m).
+bool ml_kset_constructible(int n, int k, int m, int l);
+
+// The wait-free partition construction: n programs deciding at most
+// ml_construction_k(n, m, l) distinct proposed values.
+std::vector<Program> kset_from_ml_objects(int n, int m, int l);
+
+}  // namespace mpcn

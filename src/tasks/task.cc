@@ -1,0 +1,72 @@
+#include "src/tasks/task.h"
+
+#include <set>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+KSetAgreementTask::KSetAgreementTask(int k) : k_(k) {
+  if (k < 1) throw ProtocolError("k-set agreement needs k >= 1");
+}
+
+std::string KSetAgreementTask::name() const {
+  return std::to_string(k_) + "-set-agreement";
+}
+
+bool KSetAgreementTask::validate(
+    const std::vector<Value>& proposed,
+    const std::vector<std::optional<Value>>& decisions,
+    std::string* why) const {
+  std::set<Value> allowed(proposed.begin(), proposed.end());
+  std::set<Value> decided;
+  for (std::size_t j = 0; j < decisions.size(); ++j) {
+    if (!decisions[j]) continue;
+    if (!allowed.count(*decisions[j])) {
+      if (why) {
+        *why = "validity violated: process " + std::to_string(j) +
+               " decided unproposed value " + decisions[j]->to_string();
+      }
+      return false;
+    }
+    decided.insert(*decisions[j]);
+  }
+  if (static_cast<int>(decided.size()) > k_) {
+    if (why) {
+      *why = "agreement violated: " + std::to_string(decided.size()) +
+             " distinct values decided, k = " + std::to_string(k_);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool RenamingCheck::validate(
+    const std::vector<std::optional<Value>>& decisions,
+    std::string* why) const {
+  std::set<Value> seen;
+  for (std::size_t j = 0; j < decisions.size(); ++j) {
+    if (!decisions[j]) continue;
+    if (!decisions[j]->is_int()) {
+      if (why) *why = "renaming output is not an integer name";
+      return false;
+    }
+    const std::int64_t name = decisions[j]->as_int();
+    if (name < 1 || name > name_space) {
+      if (why) {
+        *why = "name " + std::to_string(name) + " outside [1, " +
+               std::to_string(name_space) + "]";
+      }
+      return false;
+    }
+    if (!seen.insert(*decisions[j]).second) {
+      if (why) {
+        *why = "two processes decided the same name " + std::to_string(name);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,79 @@
+// Decision tasks (Section 2.1).
+//
+// "A decision task is a total binary relation ∆ from I into O. A task is
+//  colorless if, when a value v is proposed by a process, the very same
+//  value can be proposed by any other process and, when a value v' is
+//  decided by a process, the very same value v' can be decided by any
+//  other process."
+//
+// Validators take the multiset of *proposed* inputs (the inputs that
+// actually entered the run: for simulated executions these are the
+// simulators' inputs, any of which may become a simulated process's
+// agreed input) and the decision vector, and check the task relation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace mpcn {
+
+class ColorlessTask {
+ public:
+  virtual ~ColorlessTask() = default;
+
+  virtual std::string name() const = 0;
+
+  // The task's set consensus number k (Section 1.1 / [18]): the largest k
+  // such that the task wait-free reduces to k-set agreement. Consensus
+  // has k = 1. Determines solvability: solvable in ASM(n,t,x) iff
+  // k > ⌊t/x⌋ (Section 5.4).
+  virtual int set_consensus_number() const = 0;
+
+  // True iff `decisions` is a legal output vector for `proposed` inputs.
+  // Undecided entries (nullopt) are unconstrained, per Section 2.2: "If
+  // p_j does not decide, O[j] is set to any value that preserves the
+  // relation".
+  virtual bool validate(const std::vector<Value>& proposed,
+                        const std::vector<std::optional<Value>>& decisions,
+                        std::string* why = nullptr) const = 0;
+};
+
+// k-set agreement (Section 1.1, [12]): decided values are proposed values
+// and at most k distinct values are decided. k = 1 is consensus.
+class KSetAgreementTask : public ColorlessTask {
+ public:
+  explicit KSetAgreementTask(int k);
+
+  std::string name() const override;
+  int set_consensus_number() const override { return k_; }
+  bool validate(const std::vector<Value>& proposed,
+                const std::vector<std::optional<Value>>& decisions,
+                std::string* why = nullptr) const override;
+
+  int k() const { return k_; }
+
+ private:
+  const int k_;
+};
+
+// Consensus = 1-set agreement.
+class ConsensusTask : public KSetAgreementTask {
+ public:
+  ConsensusTask() : KSetAgreementTask(1) {}
+  std::string name() const override { return "consensus"; }
+};
+
+// Colored-task validator for renaming-style outputs: all decided values
+// distinct, integers within [1, name_space]. Not a ColorlessTask (the
+// whole point); used by the colored-engine tests and examples.
+struct RenamingCheck {
+  int name_space = 0;  // e.g. 2n-1
+  bool validate(const std::vector<std::optional<Value>>& decisions,
+                std::string* why = nullptr) const;
+};
+
+}  // namespace mpcn

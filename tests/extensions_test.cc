@@ -1,0 +1,366 @@
+// Tests for the extension modules: TournamentTestAndSet (test&set from
+// 2-consensus, the [19] direction used in Section 4.3), CommitAdopt,
+// Omega_x + leader consensus (Section 1.3 boosting), and the
+// (m,l)-set-object constructions (Section 1.3 hierarchy).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/common/errors.h"
+#include "src/core/commit_adopt.h"
+#include "src/core/pipeline.h"
+#include "src/objects/tournament_tas.h"
+#include "src/oracles/leader_consensus.h"
+#include "src/oracles/omega.h"
+#include "src/runtime/execution.h"
+#include "src/tasks/algorithms.h"
+#include "src/tasks/ml_constructions.h"
+#include "src/tasks/task.h"
+
+namespace mpcn {
+namespace {
+
+ExecutionOptions lockstep(std::uint64_t seed, std::uint64_t limit = 400000) {
+  ExecutionOptions o;
+  o.mode = SchedulerMode::kLockstep;
+  o.seed = seed;
+  o.step_limit = limit;
+  return o;
+}
+
+std::vector<Value> int_inputs(int n, int base = 0) {
+  std::vector<Value> v;
+  for (int i = 0; i < n; ++i) v.push_back(Value(base + i));
+  return v;
+}
+
+// --- TournamentTestAndSet ---
+
+class TournamentWinners
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(TournamentWinners, ExactlyOneWinner) {
+  const int n = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  auto tas = std::make_shared<TournamentTestAndSet>(n);
+  auto winners = std::make_shared<std::atomic<int>>(0);
+  std::vector<Program> p;
+  for (int i = 0; i < n; ++i) {
+    p.push_back([tas, winners](ProcessContext& ctx) {
+      if (tas->test_and_set(ctx)) winners->fetch_add(1);
+      ctx.decide(Value(0));
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(n), lockstep(seed));
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_EQ(winners->load(), 1);
+  ASSERT_TRUE(tas->winner().has_value());
+  EXPECT_GE(*tas->winner(), 0);
+  EXPECT_LT(*tas->winner(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TournamentWinners,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 13),
+                       ::testing::Range<std::uint64_t>(1, 9)));
+
+TEST(TournamentTas, FirstAloneWins) {
+  // p0 completes before anyone else starts: p0 must win (the sequential
+  // test&set spec).
+  auto tas = std::make_shared<TournamentTestAndSet>(5);
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  std::vector<Program> p;
+  p.push_back([tas, gate](ProcessContext& ctx) {
+    EXPECT_TRUE(tas->test_and_set(ctx));
+    gate->store(true);
+    ctx.decide(Value(0));
+  });
+  for (int i = 1; i < 5; ++i) {
+    p.push_back([tas, gate](ProcessContext& ctx) {
+      while (!gate->load()) ctx.yield();
+      EXPECT_FALSE(tas->test_and_set(ctx));
+      ctx.decide(Value(0));
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(5), lockstep(3));
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_EQ(*tas->winner(), 0);
+}
+
+TEST(TournamentTas, OneShotEnforced) {
+  auto tas = std::make_shared<TournamentTestAndSet>(2);
+  std::vector<Program> p{
+      [tas](ProcessContext& ctx) {
+        (void)tas->test_and_set(ctx);
+        EXPECT_THROW(tas->test_and_set(ctx), ProtocolError);
+        ctx.decide(Value(0));
+      },
+      [](ProcessContext& ctx) { ctx.decide(Value(0)); }};
+  run_execution(std::move(p), int_inputs(2), lockstep(4));
+}
+
+TEST(TournamentTas, SingleProcessDegenerate) {
+  auto tas = std::make_shared<TournamentTestAndSet>(1);
+  std::vector<Program> p{[tas](ProcessContext& ctx) {
+    EXPECT_TRUE(tas->test_and_set(ctx));
+    ctx.decide(Value(0));
+  }};
+  run_execution(std::move(p), int_inputs(1), lockstep(5));
+}
+
+TEST(TournamentTas, CrashedWinnerStillUnique) {
+  // A contender crashing mid-walk must not allow two winners.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto tas = std::make_shared<TournamentTestAndSet>(4);
+    auto winners = std::make_shared<std::atomic<int>>(0);
+    ExecutionOptions o = lockstep(seed);
+    o.crashes = CrashPlan::fixed({{0, 1 + seed % 5}});
+    std::vector<Program> p;
+    for (int i = 0; i < 4; ++i) {
+      p.push_back([tas, winners](ProcessContext& ctx) {
+        if (tas->test_and_set(ctx)) winners->fetch_add(1);
+        ctx.decide(Value(0));
+      });
+    }
+    run_execution(std::move(p), int_inputs(4), o);
+    EXPECT_LE(winners->load(), 1) << "seed " << seed;
+  }
+}
+
+// --- CommitAdopt ---
+
+class CommitAdoptProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(CommitAdoptProperties, CommitRuleHolds) {
+  const int n = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  auto ca = std::make_shared<CommitAdopt>(n);
+  auto results = std::make_shared<std::vector<GradedValue>>(
+      static_cast<std::size_t>(n));
+  auto results_m = std::make_shared<std::mutex>();
+  std::vector<Program> p;
+  for (int i = 0; i < n; ++i) {
+    p.push_back([ca, results, results_m, i](ProcessContext& ctx) {
+      GradedValue g = ca->propose(ctx, ctx.input());
+      {
+        std::lock_guard<std::mutex> lk(*results_m);
+        (*results)[static_cast<std::size_t>(i)] = g;
+      }
+      ctx.decide(g.value);
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(n), lockstep(seed));
+  ASSERT_FALSE(out.timed_out);
+  // Commit rule: if anyone committed v, everyone's value is v.
+  for (int i = 0; i < n; ++i) {
+    const GradedValue& gi = (*results)[static_cast<std::size_t>(i)];
+    if (gi.grade == Grade::kCommit) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ((*results)[static_cast<std::size_t>(j)].value, gi.value)
+            << "commit rule violated";
+      }
+    }
+    // Validity: returned values were proposed.
+    EXPECT_GE(gi.value.as_int(), 0);
+    EXPECT_LT(gi.value.as_int(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CommitAdoptProperties,
+    ::testing::Combine(::testing::Values(2, 3, 5),
+                       ::testing::Range<std::uint64_t>(1, 21)));
+
+TEST(CommitAdopt, UnanimousProposalsCommit) {
+  const int n = 4;
+  auto ca = std::make_shared<CommitAdopt>(n);
+  auto commits = std::make_shared<std::atomic<int>>(0);
+  std::vector<Program> p;
+  for (int i = 0; i < n; ++i) {
+    p.push_back([ca, commits](ProcessContext& ctx) {
+      GradedValue g = ca->propose(ctx, Value(77));
+      EXPECT_EQ(g.value.as_int(), 77);
+      if (g.grade == Grade::kCommit) commits->fetch_add(1);
+      ctx.decide(g.value);
+    });
+  }
+  std::vector<Value> inputs(static_cast<std::size_t>(n), Value(77));
+  Outcome out = run_execution(std::move(p), inputs, lockstep(2));
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_EQ(commits->load(), n) << "convergence: all-equal must all commit";
+}
+
+TEST(CommitAdopt, SoloProposerCommits) {
+  auto ca = std::make_shared<CommitAdopt>(3);
+  std::vector<Program> p{
+      [ca](ProcessContext& ctx) {
+        GradedValue g = ca->propose(ctx, Value("only"));
+        EXPECT_EQ(g.grade, Grade::kCommit);
+        ctx.decide(g.value);
+      },
+      [](ProcessContext& ctx) { ctx.decide(Value(0)); },
+      [](ProcessContext& ctx) { ctx.decide(Value(0)); }};
+  run_execution(std::move(p), int_inputs(3), lockstep(3));
+}
+
+TEST(CommitAdopt, OneShotEnforced) {
+  auto ca = std::make_shared<CommitAdopt>(1);
+  std::vector<Program> p{[ca](ProcessContext& ctx) {
+    (void)ca->propose(ctx, Value(1));
+    EXPECT_THROW(ca->propose(ctx, Value(2)), ProtocolError);
+    ctx.decide(Value(0));
+  }};
+  run_execution(std::move(p), int_inputs(1), lockstep(4));
+}
+
+// --- OmegaX + leader consensus ---
+
+TEST(OmegaX, ParametersValidated) {
+  EXPECT_THROW(OmegaX(3, 0, 0, 1), ProtocolError);
+  EXPECT_THROW(OmegaX(3, 4, 0, 1), ProtocolError);
+}
+
+TEST(OmegaX, StabilizesToCommonSetWithCorrectMember) {
+  const int n = 5, x = 2;
+  auto oracle = std::make_shared<OmegaX>(n, x, /*stabilize at step*/ 100, 9);
+  auto sets = std::make_shared<std::vector<std::set<ProcessId>>>(
+      static_cast<std::size_t>(n));
+  ExecutionOptions o = lockstep(5);
+  o.crashes = CrashPlan::fixed({{0, 20}});
+  std::vector<Program> p;
+  for (int i = 0; i < n; ++i) {
+    p.push_back([oracle, sets, i](ProcessContext& ctx) {
+      std::set<ProcessId> last;
+      for (int q = 0; q < 300; ++q) last = oracle->query(ctx);
+      (*sets)[static_cast<std::size_t>(i)] = last;
+      ctx.decide(Value(0));
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(n), o);
+  // All correct processes end with the same set, of size x, containing a
+  // non-crashed process.
+  std::set<ProcessId> reference;
+  for (int i = 0; i < n; ++i) {
+    if (out.crashed[static_cast<std::size_t>(i)]) continue;
+    const auto& s = (*sets)[static_cast<std::size_t>(i)];
+    ASSERT_EQ(static_cast<int>(s.size()), x);
+    if (reference.empty()) reference = s;
+    EXPECT_EQ(s, reference);
+  }
+  bool has_correct = false;
+  for (ProcessId q : reference) {
+    if (!out.crashed[static_cast<std::size_t>(q)]) has_correct = true;
+  }
+  EXPECT_TRUE(has_correct);
+}
+
+class LeaderConsensus : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeaderConsensus, SolvesConsensusDespiteCrashes) {
+  // Consensus is unsolvable in ASM(n,t,1) for t >= 1; with Omega it is
+  // wait-free solvable. n = 5, up to 3 crashes.
+  const int n = 5;
+  auto oracle =
+      std::make_shared<OmegaX>(n, 1, /*stabilize*/ 400, GetParam());
+  ExecutionOptions o = lockstep(GetParam(), 600000);
+  o.crashes = CrashPlan::hazard(0.004, 3, GetParam() * 5 + 1);
+  std::vector<Value> inputs = int_inputs(n, 60);
+  Outcome out =
+      run_execution(leader_consensus_programs(n, oracle), inputs, o);
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_TRUE(out.all_correct_decided());
+  std::set<Value> decided = out.distinct_decisions();
+  ASSERT_EQ(decided.size(), 1u) << "consensus agreement";
+  EXPECT_GE(decided.begin()->as_int(), 60);  // validity
+  EXPECT_LT(decided.begin()->as_int(), 60 + n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaderConsensus,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(LeaderConsensus, WaitFreeUnderMaxCrashes) {
+  const int n = 4;
+  auto oracle = std::make_shared<OmegaX>(n, 1, 300, 7);
+  ExecutionOptions o = lockstep(11, 600000);
+  o.crashes = CrashPlan::fixed({{0, 50}, {1, 70}, {2, 90}});  // n-1 crashes
+  Outcome out = run_execution(leader_consensus_programs(n, oracle),
+                              int_inputs(n, 20), o);
+  ASSERT_FALSE(out.timed_out);
+  ASSERT_TRUE(out.decisions[3].has_value());
+}
+
+// --- (m,l)-set constructions ---
+
+TEST(MlConstructions, ArithmeticBounds) {
+  EXPECT_EQ(ml_construction_k(6, 3, 1), 2);   // 2 groups x 1
+  EXPECT_EQ(ml_construction_k(6, 3, 2), 4);   // 2 groups x 2
+  EXPECT_EQ(ml_construction_k(7, 3, 1), 3);   // ceil(7/3) = 3 groups
+  EXPECT_EQ(ml_construction_k(4, 4, 1), 1);   // one group: consensus power
+  // Constructibility: n*l <= k*m.
+  EXPECT_TRUE(ml_kset_constructible(6, 2, 3, 1));
+  EXPECT_FALSE(ml_kset_constructible(6, 1, 3, 1));
+  EXPECT_TRUE(ml_kset_constructible(9, 3, 3, 1));
+  EXPECT_FALSE(ml_kset_constructible(9, 2, 3, 1));
+  // Our construction is within the constructible region.
+  for (int n = 2; n <= 9; ++n) {
+    for (int m = 1; m <= n; ++m) {
+      for (int l = 1; l <= m; ++l) {
+        EXPECT_TRUE(ml_kset_constructible(n, ml_construction_k(n, m, l), m,
+                                          l))
+            << n << " " << m << " " << l;
+      }
+    }
+  }
+}
+
+class MlKsetConstruction
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, std::uint64_t>> {};
+
+TEST_P(MlKsetConstruction, AtMostKDistinctWaitFree) {
+  const int n = std::get<0>(GetParam());
+  const int m = std::get<1>(GetParam());
+  const int l = std::get<2>(GetParam());
+  const std::uint64_t seed = std::get<3>(GetParam());
+  if (m > n || l > m) GTEST_SKIP();
+  ExecutionOptions o = lockstep(seed);
+  // Wait-free: crash anyone, survivors still decide instantly.
+  o.crashes = CrashPlan::hazard(0.02, n - 1, seed + 3);
+  Outcome out =
+      run_execution(kset_from_ml_objects(n, m, l), int_inputs(n, 5), o);
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_TRUE(out.all_correct_decided());
+  const int k = ml_construction_k(n, m, l);
+  EXPECT_LE(static_cast<int>(out.distinct_decisions().size()), k);
+  for (const Value& v : out.distinct_decisions()) {
+    EXPECT_GE(v.as_int(), 5);
+    EXPECT_LT(v.as_int(), 5 + n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MlKsetConstruction,
+    ::testing::Combine(::testing::Values(4, 6, 7), ::testing::Values(2, 3),
+                       ::testing::Values(1, 2),
+                       ::testing::Range<std::uint64_t>(1, 4)));
+
+// --- engine on the Afek MEM substrate (ablation correctness) ---
+
+TEST(EngineOnAfekMem, BackwardSimulationStillCorrect) {
+  SimulatedAlgorithm a = trivial_kset_algorithm(3, 1);
+  SimulationOptions so;
+  so.mem = MemKind::kAfek;
+  ExecutionOptions o = lockstep(3, 3'000'000);
+  std::vector<Value> inputs = int_inputs(3, 40);
+  Outcome out = run_simulated(a, ModelSpec{3, 1, 1}, inputs, o, so);
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_TRUE(out.all_correct_decided());
+  KSetAgreementTask task(2);
+  std::string why;
+  EXPECT_TRUE(task.validate(inputs, out.decisions, &why)) << why;
+}
+
+}  // namespace
+}  // namespace mpcn

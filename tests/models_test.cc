@@ -1,0 +1,253 @@
+// Tests: src/core/models — the equivalence theory of Section 5, checked
+// as pure properties over parameter ranges (no concurrency involved).
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+#include "src/core/models.h"
+
+namespace mpcn {
+namespace {
+
+TEST(ModelSpec, ValidationRules) {
+  EXPECT_NO_THROW((ModelSpec{4, 2, 1}).validate());
+  EXPECT_NO_THROW((ModelSpec{4, 0, 1}).validate());  // failure-free allowed
+  EXPECT_THROW((ModelSpec{1, 0, 1}).validate(), ProtocolError);  // n >= 2
+  EXPECT_THROW((ModelSpec{4, 4, 1}).validate(), ProtocolError);  // t < n
+  EXPECT_THROW((ModelSpec{4, -1, 1}).validate(), ProtocolError);
+  EXPECT_THROW((ModelSpec{4, 2, 0}).validate(), ProtocolError);  // x >= 1
+  EXPECT_THROW((ModelSpec{4, 2, 5}).validate(), ProtocolError);  // x <= n
+}
+
+TEST(ModelSpec, PowerIsFloorTOverX) {
+  EXPECT_EQ((ModelSpec{10, 8, 1}).power(), 8);
+  EXPECT_EQ((ModelSpec{10, 8, 2}).power(), 4);
+  EXPECT_EQ((ModelSpec{10, 8, 3}).power(), 2);
+  EXPECT_EQ((ModelSpec{10, 8, 4}).power(), 2);
+  EXPECT_EQ((ModelSpec{10, 8, 5}).power(), 1);
+  EXPECT_EQ((ModelSpec{10, 8, 9}).power(), 0);
+}
+
+TEST(ModelSpec, WaitFreeDetection) {
+  EXPECT_TRUE((ModelSpec{5, 4, 1}).wait_free());
+  EXPECT_FALSE((ModelSpec{5, 3, 1}).wait_free());
+}
+
+TEST(ModelSpec, CanonicalForm) {
+  const ModelSpec c = ModelSpec{10, 8, 3}.canonical();
+  EXPECT_EQ(c, (ModelSpec{10, 2, 1}));
+  EXPECT_EQ(c.power(), ModelSpec({10, 8, 3}).power());
+}
+
+TEST(ModelSpec, ToString) {
+  EXPECT_EQ((ModelSpec{4, 2, 3}).to_string(), "ASM(4,2,3)");
+}
+
+// Section 5.4's worked example, t' = 8:
+//   x in [9, n]  -> ASM(n,0,1)
+//   x in [5, 8]  -> ASM(n,1,1)
+//   x in [3, 4]  -> ASM(n,2,1)
+//   x = 2        -> ASM(n,4,1)
+//   x = 1        -> ASM(n,8,1)
+TEST(EquivalenceClasses, PaperExampleT8) {
+  const int n = 12;
+  const auto classes = classes_for_t(n, 8);
+  ASSERT_EQ(classes.size(), 5u);
+  EXPECT_EQ(classes[0].power, 8);
+  EXPECT_EQ(classes[0].x_lo, 1);
+  EXPECT_EQ(classes[0].x_hi, 1);
+  EXPECT_EQ(classes[1].power, 4);
+  EXPECT_EQ(classes[1].x_lo, 2);
+  EXPECT_EQ(classes[1].x_hi, 2);
+  EXPECT_EQ(classes[2].power, 2);
+  EXPECT_EQ(classes[2].x_lo, 3);
+  EXPECT_EQ(classes[2].x_hi, 4);
+  EXPECT_EQ(classes[3].power, 1);
+  EXPECT_EQ(classes[3].x_lo, 5);
+  EXPECT_EQ(classes[3].x_hi, 8);
+  EXPECT_EQ(classes[4].power, 0);
+  EXPECT_EQ(classes[4].x_lo, 9);
+  EXPECT_EQ(classes[4].x_hi, 12);
+  for (const auto& c : classes) {
+    EXPECT_EQ(c.canonical, (ModelSpec{n, c.power, 1}));
+  }
+}
+
+TEST(EquivalenceClasses, PartitionCoversAllX) {
+  // Property: for every (n, t'), the classes partition x = 1..n and each
+  // x's class power matches ⌊t'/x⌋.
+  for (int n = 2; n <= 14; ++n) {
+    for (int t = 1; t < n; ++t) {
+      const auto classes = classes_for_t(n, t);
+      int next_x = 1;
+      for (const auto& c : classes) {
+        EXPECT_EQ(c.x_lo, next_x);
+        EXPECT_LE(c.x_lo, c.x_hi);
+        for (int x = c.x_lo; x <= c.x_hi; ++x) {
+          EXPECT_EQ(floor_div(t, x), c.power)
+              << "n=" << n << " t=" << t << " x=" << x;
+        }
+        next_x = c.x_hi + 1;
+      }
+      EXPECT_EQ(next_x, n + 1) << "classes must cover x = 1..n";
+      // Powers strictly decrease across classes.
+      for (std::size_t i = 1; i < classes.size(); ++i) {
+        EXPECT_GT(classes[i - 1].power, classes[i].power);
+      }
+    }
+  }
+}
+
+// The multiplicative window: ASM(n,t',x) ≃ ASM(n,t,1) iff
+// t*x <= t' <= t*x + x - 1 (Section 5.4).
+TEST(TWindowProperty, WindowMatchesFloorEquality) {
+  for (int t = 0; t <= 6; ++t) {
+    for (int x = 1; x <= 6; ++x) {
+      const TWindow w = equivalent_t_window(t, x);
+      EXPECT_EQ(w.lo, t * x);
+      EXPECT_EQ(w.hi, t * x + x - 1);
+      for (int tp = 0; tp <= 40; ++tp) {
+        const bool in_window = tp >= w.lo && tp <= w.hi;
+        EXPECT_EQ(floor_div(tp, x) == t, in_window)
+            << "t=" << t << " x=" << x << " t'=" << tp;
+      }
+    }
+  }
+}
+
+TEST(Equivalence, MainTheoremStatement) {
+  // ASM(n1,t1,x1) ≃ ASM(n2,t2,x2) iff ⌊t1/x1⌋ = ⌊t2/x2⌋ — over a grid.
+  for (int t1 = 1; t1 <= 6; ++t1) {
+    for (int x1 = 1; x1 <= 4; ++x1) {
+      for (int t2 = 1; t2 <= 6; ++t2) {
+        for (int x2 = 1; x2 <= 4; ++x2) {
+          const ModelSpec a{8, t1, x1};
+          const ModelSpec b{9, t2, x2};
+          EXPECT_EQ(equivalent(a, b),
+                    floor_div(t1, x1) == floor_div(t2, x2));
+        }
+      }
+    }
+  }
+}
+
+TEST(Equivalence, IsAnEquivalenceRelation) {
+  std::vector<ModelSpec> models;
+  for (int t = 1; t <= 5; ++t) {
+    for (int x = 1; x <= 3; ++x) models.push_back(ModelSpec{6, t, x});
+  }
+  for (const auto& a : models) {
+    EXPECT_TRUE(equivalent(a, a));  // reflexive
+    for (const auto& b : models) {
+      EXPECT_EQ(equivalent(a, b), equivalent(b, a));  // symmetric
+      for (const auto& c : models) {
+        if (equivalent(a, b) && equivalent(b, c)) {
+          EXPECT_TRUE(equivalent(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST(Hierarchy, StrengthIsPowerOrder) {
+  // ASM(n,3,1) is stronger than ASM(n,4,1): 4-set agreement solvable in
+  // the former, not the latter (Section 5.4's example).
+  EXPECT_TRUE(at_least_as_strong(ModelSpec{8, 3, 1}, ModelSpec{8, 4, 1}));
+  EXPECT_FALSE(at_least_as_strong(ModelSpec{8, 4, 1}, ModelSpec{8, 3, 1}));
+  // Equivalent models are mutually at-least-as-strong.
+  EXPECT_TRUE(at_least_as_strong(ModelSpec{8, 4, 2}, ModelSpec{8, 2, 1}));
+  EXPECT_TRUE(at_least_as_strong(ModelSpec{8, 2, 1}, ModelSpec{8, 4, 2}));
+}
+
+TEST(Solvability, SetConsensusNumberRule) {
+  // T_k solvable in ASM(n,t,x) iff k > ⌊t/x⌋ (Section 5.4).
+  for (int k = 1; k <= 5; ++k) {
+    for (int t = 1; t <= 7; ++t) {
+      for (int x = 1; x <= 4; ++x) {
+        EXPECT_EQ(solvable_with_set_consensus_number(k, ModelSpec{8, t, x}),
+                  k > floor_div(t, x));
+      }
+    }
+  }
+  EXPECT_THROW(solvable_with_set_consensus_number(0, ModelSpec{4, 1, 1}),
+               ProtocolError);
+}
+
+TEST(Solvability, PaperConsequenceExamples) {
+  // "ASM(n, n-1, n-1) and ASM(n, 1, 1) have the same power": consensus
+  // (k=1) unsolvable in both, 2-set solvable in both.
+  for (int n = 3; n <= 8; ++n) {
+    const ModelSpec wait_free_strong{n, n - 1, n - 1};
+    const ModelSpec one_resilient{n, 1, 1};
+    EXPECT_TRUE(equivalent(wait_free_strong, one_resilient));
+    EXPECT_FALSE(solvable_with_set_consensus_number(1, wait_free_strong));
+    EXPECT_FALSE(solvable_with_set_consensus_number(1, one_resilient));
+    EXPECT_TRUE(solvable_with_set_consensus_number(2, wait_free_strong));
+  }
+  // "ASM(n, t', t) with t' < t is equivalent to the failure-free model."
+  for (int t = 2; t <= 7; ++t) {
+    for (int tp = 1; tp < t; ++tp) {
+      EXPECT_TRUE(equivalent(ModelSpec{8, tp, t}, ModelSpec{8, 0, 1}))
+          << "t'=" << tp << " t=" << t;
+    }
+  }
+}
+
+TEST(Solvability, TkWindowFromIntroduction) {
+  // "T_k can be solved in any ASM(n,t',x) such that ⌊t'/x⌋ <= k-1, i.e.
+  //  t' <= k*x - 1 if x is fixed."
+  const int k = 3;
+  for (int x = 1; x <= 5; ++x) {
+    for (int tp = 1; tp <= 20; ++tp) {
+      if (tp >= 21) continue;
+      const ModelSpec m{21, tp, x};
+      EXPECT_EQ(solvable_with_set_consensus_number(k, m), tp <= k * x - 1)
+          << "x=" << x << " t'=" << tp;
+    }
+  }
+}
+
+TEST(ObjectLegality, ConsensusNumberGate) {
+  const ModelSpec m{6, 4, 2};
+  EXPECT_TRUE(object_allowed(1, m));   // registers
+  EXPECT_TRUE(object_allowed(2, m));   // test&set
+  EXPECT_FALSE(object_allowed(3, m));  // too strong
+  EXPECT_FALSE(object_allowed(6, m));
+  EXPECT_FALSE(object_allowed(2, ModelSpec{6, 4, 1}));
+}
+
+TEST(Chain, Figure7Shape) {
+  // ASM(10,4,2) ≃ ASM(9,5,2): both have power 2; the chain passes through
+  // the canonical forms and the BG model ASM(3,2,1).
+  const auto chain =
+      equivalence_chain(ModelSpec{10, 4, 2}, ModelSpec{9, 5, 2});
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain[0], (ModelSpec{10, 4, 2}));
+  EXPECT_EQ(chain[1], (ModelSpec{10, 2, 1}));
+  EXPECT_EQ(chain[2], (ModelSpec{3, 2, 1}));
+  EXPECT_EQ(chain[3], (ModelSpec{9, 2, 1}));
+  EXPECT_EQ(chain[4], (ModelSpec{9, 5, 2}));
+}
+
+TEST(Chain, CollapsesDegenerateHops) {
+  // Canonical-to-canonical with the same n collapses duplicates.
+  const auto chain = equivalence_chain(ModelSpec{3, 2, 1}, ModelSpec{3, 2, 1});
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], (ModelSpec{3, 2, 1}));
+}
+
+TEST(Chain, RejectsNonEquivalentModels) {
+  EXPECT_THROW(equivalence_chain(ModelSpec{4, 1, 1}, ModelSpec{4, 2, 1}),
+               ProtocolError);
+}
+
+TEST(Chain, PowerZeroUsesFailureFreePair) {
+  const auto chain =
+      equivalence_chain(ModelSpec{5, 2, 3}, ModelSpec{6, 1, 2});
+  for (const auto& m : chain) {
+    EXPECT_EQ(m.power(), 0);
+    EXPECT_NO_THROW(m.validate());
+  }
+}
+
+}  // namespace
+}  // namespace mpcn

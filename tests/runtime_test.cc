@@ -1,0 +1,395 @@
+// Unit tests: src/runtime — step controllers, crash plans, contexts,
+// cooperative mutex, shared world, execution harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/common/errors.h"
+#include "src/registers/atomic_register.h"
+#include "src/runtime/cooperative_mutex.h"
+#include "src/runtime/execution.h"
+#include "src/runtime/shared_world.h"
+
+namespace mpcn {
+namespace {
+
+ExecutionOptions lockstep(std::uint64_t seed, std::uint64_t limit = 200000) {
+  ExecutionOptions o;
+  o.mode = SchedulerMode::kLockstep;
+  o.seed = seed;
+  o.step_limit = limit;
+  return o;
+}
+
+ExecutionOptions free_mode(std::uint64_t limit = 2'000'000) {
+  ExecutionOptions o;
+  o.mode = SchedulerMode::kFree;
+  o.step_limit = limit;
+  return o;
+}
+
+std::vector<Value> int_inputs(int n) {
+  std::vector<Value> v;
+  for (int i = 0; i < n; ++i) v.push_back(Value(i));
+  return v;
+}
+
+TEST(Execution, SingleProcessDecides) {
+  std::vector<Program> p{[](ProcessContext& ctx) { ctx.decide(Value(7)); }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, lockstep(1));
+  ASSERT_TRUE(out.decisions[0].has_value());
+  EXPECT_EQ(out.decisions[0]->as_int(), 7);
+  EXPECT_FALSE(out.timed_out);
+}
+
+TEST(Execution, InputsAreDelivered) {
+  std::vector<Program> p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back([](ProcessContext& ctx) { ctx.decide(ctx.input()); });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(4), lockstep(2));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(out.decisions[i].has_value());
+    EXPECT_EQ(out.decisions[i]->as_int(), i);
+  }
+}
+
+TEST(Execution, RunIsSingleUse) {
+  Execution e({[](ProcessContext& c) { c.decide(Value(1)); }}, {Value(0)},
+              lockstep(1));
+  e.run();
+  EXPECT_THROW(e.run(), ProtocolError);
+}
+
+TEST(Execution, InputSizeMismatchThrows) {
+  EXPECT_THROW(
+      Execution({[](ProcessContext&) {}}, std::vector<Value>{}, lockstep(1)),
+      ProtocolError);
+}
+
+TEST(Execution, ProtocolErrorsPropagate) {
+  std::vector<Program> p{
+      [](ProcessContext&) { throw ProtocolError("boom"); }};
+  Execution e(std::move(p), {Value(0)}, lockstep(1));
+  EXPECT_THROW(e.run(), ProtocolError);
+}
+
+TEST(Execution, StepLimitFlagsTimeout) {
+  // A process that spins forever: the run must end, flagged timed_out.
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    for (;;) ctx.yield();
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, lockstep(3, 500));
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_FALSE(out.decisions[0].has_value());
+}
+
+TEST(Execution, StopsWhenAllCorrectDecided) {
+  // One process decides, the other spins; once p0 decides and p1 is
+  // crashed, the run stops without burning the step budget.
+  ExecutionOptions o = lockstep(4, 1'000'000);
+  o.crashes = CrashPlan::fixed({{1, 5}});
+  std::vector<Program> p{
+      [](ProcessContext& ctx) {
+        for (int i = 0; i < 50; ++i) ctx.yield();
+        ctx.decide(Value(1));
+      },
+      [](ProcessContext& ctx) {
+        for (;;) ctx.yield();
+      }};
+  Outcome out = run_execution(std::move(p), int_inputs(2), o);
+  EXPECT_FALSE(out.timed_out);
+  EXPECT_TRUE(out.decisions[0].has_value());
+  EXPECT_TRUE(out.crashed[1]);
+  EXPECT_LT(out.steps, 10'000u);
+}
+
+// --- crash plans ---
+
+TEST(CrashPlan, FixedCrashStopsProcessAtExactStep) {
+  std::atomic<int> steps_taken{0};
+  ExecutionOptions o = lockstep(5);
+  o.crashes = CrashPlan::fixed({{0, 4}});  // crash at own step 4
+  std::vector<Program> p{[&steps_taken](ProcessContext& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.yield();
+      steps_taken.fetch_add(1);
+    }
+    ctx.decide(Value(0));
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, o);
+  EXPECT_TRUE(out.crashed[0]);
+  EXPECT_FALSE(out.decisions[0].has_value());
+  // The 4th step throws before executing, so exactly 3 completed.
+  EXPECT_EQ(steps_taken.load(), 3);
+}
+
+TEST(CrashPlan, NoneNeverCrashes) {
+  CrashManager m(3, CrashPlan::none());
+  for (int s = 0; s < 1000; ++s) {
+    EXPECT_FALSE(m.on_step(ThreadId{s % 3, 0}));
+  }
+  EXPECT_EQ(m.crash_count(), 0);
+}
+
+TEST(CrashPlan, HazardRespectsBudget) {
+  CrashManager m(8, CrashPlan::hazard(0.5, 3, 42));
+  for (int s = 0; s < 10000; ++s) m.on_step(ThreadId{s % 8, 0});
+  EXPECT_LE(m.crash_count(), 3);
+  EXPECT_GT(m.crash_count(), 0);
+}
+
+TEST(CrashPlan, HazardEligibilityRestricts) {
+  CrashManager m(4, CrashPlan::hazard(1.0, 4, 7, {2}));
+  for (int s = 0; s < 100; ++s) m.on_step(ThreadId{s % 4, 0});
+  EXPECT_TRUE(m.is_crashed(2));
+  EXPECT_FALSE(m.is_crashed(0));
+  EXPECT_FALSE(m.is_crashed(1));
+  EXPECT_FALSE(m.is_crashed(3));
+}
+
+TEST(CrashPlan, CrashNowIsSticky) {
+  CrashManager m(2, CrashPlan::none());
+  m.crash_now(1);
+  EXPECT_TRUE(m.is_crashed(1));
+  EXPECT_TRUE(m.on_step(ThreadId{1, 0}));  // crashed processes stay crashed
+  EXPECT_EQ(m.crash_count(), 1);
+}
+
+TEST(CrashPlan, BudgetReporting) {
+  EXPECT_EQ(CrashPlan::none().budget(5), 0);
+  EXPECT_EQ(CrashPlan::fixed({{0, 1}, {1, 1}}).budget(5), 2);
+  EXPECT_EQ(CrashPlan::hazard(0.1, 3, 1).budget(5), 3);
+  EXPECT_EQ(CrashPlan::hazard(0.1, 9, 1).budget(5), 5);
+}
+
+// --- determinism of the lock-step schedule ---
+
+TEST(Lockstep, SameSeedSameInterleaving) {
+  // Two processes append their ids to a shared register list; the final
+  // list is a trace of the schedule. Same seed => same trace.
+  auto run_trace = [](std::uint64_t seed) {
+    auto reg = std::make_shared<AtomicRegister>(Value(Value::List{}));
+    std::vector<Program> p;
+    for (int i = 0; i < 3; ++i) {
+      p.push_back([reg, i](ProcessContext& ctx) {
+        for (int r = 0; r < 10; ++r) {
+          Value cur = reg->read(ctx);
+          Value::List l = cur.as_list();
+          l.push_back(Value(i));
+          reg->write(ctx, Value(std::move(l)));
+        }
+        ctx.decide(Value(0));
+      });
+    }
+    Outcome out = run_execution(std::move(p), int_inputs(3), lockstep(seed));
+    EXPECT_FALSE(out.timed_out);
+    return reg->peek().to_string();
+  };
+  EXPECT_EQ(run_trace(11), run_trace(11));
+  EXPECT_EQ(run_trace(12), run_trace(12));
+  // Different seeds virtually always give different traces for 30 steps.
+  EXPECT_NE(run_trace(11), run_trace(12));
+}
+
+TEST(Lockstep, StepsAreSerialized) {
+  // Under lock-step, read-modify-write sequences of distinct processes
+  // interleave but each *step* is exclusive; a per-step counter collision
+  // detector must never fire.
+  auto busy = std::make_shared<std::atomic<int>>(0);
+  auto collisions = std::make_shared<std::atomic<int>>(0);
+  std::vector<Program> p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back([busy, collisions](ProcessContext& ctx) {
+      for (int r = 0; r < 25; ++r) {
+        auto g = ctx.step();
+        if (busy->fetch_add(1) != 0) collisions->fetch_add(1);
+        busy->fetch_sub(1);
+      }
+      ctx.decide(Value(0));
+    });
+  }
+  run_execution(std::move(p), int_inputs(4), lockstep(6));
+  EXPECT_EQ(collisions->load(), 0);
+}
+
+// --- fork / cancel / crash domains ---
+
+TEST(Fork, ChildSharesCrashDomain) {
+  // Parent forks a child; the parent's pid crashes; both must stop.
+  ExecutionOptions o = lockstep(7);
+  o.crashes = CrashPlan::fixed({{0, 10}});
+  auto child_stopped_cleanly = std::make_shared<std::atomic<bool>>(false);
+  std::vector<Program> p{[&](ProcessContext& ctx) {
+    ChildHandle h = ctx.fork([&](ProcessContext& cctx) {
+      try {
+        for (;;) cctx.yield();
+      } catch (const ProcessCrashed&) {
+        child_stopped_cleanly->store(true);
+        throw;
+      }
+    });
+    for (;;) ctx.yield();
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, o);
+  EXPECT_TRUE(out.crashed[0]);
+  EXPECT_TRUE(child_stopped_cleanly->load());
+}
+
+TEST(Fork, JoinReturnsAfterChildFinishes) {
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    auto flag = std::make_shared<std::atomic<bool>>(false);
+    ChildHandle h = ctx.fork([flag](ProcessContext& cctx) {
+      for (int i = 0; i < 5; ++i) cctx.yield();
+      flag->store(true);
+    });
+    h.join(ctx);
+    EXPECT_TRUE(flag->load());
+    ctx.decide(Value(1));
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, lockstep(8));
+  EXPECT_TRUE(out.decisions[0].has_value());
+}
+
+TEST(Fork, CancelUnblocksSpinningChild) {
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    ChildHandle h = ctx.fork([](ProcessContext& cctx) {
+      for (;;) cctx.yield();  // spins until cancelled
+    });
+    for (int i = 0; i < 20; ++i) ctx.yield();
+    h.cancel();
+    h.join(ctx);
+    ctx.decide(Value(1));
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, lockstep(9));
+  EXPECT_TRUE(out.decisions[0].has_value());
+  EXPECT_FALSE(out.timed_out);
+}
+
+TEST(Fork, DestructorCleansUpSpinningChild) {
+  // Parent abandons a spinning child by returning; the handle destructor
+  // must cancel and join it without deadlocking the lock-step schedule.
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    ChildHandle h = ctx.fork([](ProcessContext& cctx) {
+      for (;;) cctx.yield();
+    });
+    for (int i = 0; i < 10; ++i) ctx.yield();
+    ctx.decide(Value(1));
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, lockstep(10));
+  EXPECT_TRUE(out.decisions[0].has_value());
+}
+
+TEST(Fork, ChildErrorSurfacesThroughJoin) {
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    ChildHandle h = ctx.fork(
+        [](ProcessContext&) { throw ProtocolError("child bug"); });
+    EXPECT_THROW(h.join(ctx), ProtocolError);
+    ctx.decide(Value(1));
+  }};
+  run_execution(std::move(p), {Value(0)}, lockstep(11));
+}
+
+TEST(Fork, ErrorAccessorReportsAfterDone) {
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    ChildHandle h = ctx.fork(
+        [](ProcessContext&) { throw ProtocolError("child bug"); });
+    while (!h.done()) ctx.yield();
+    EXPECT_NE(h.error(), nullptr);
+    h.cancel();
+    ctx.decide(Value(1));
+  }};
+  run_execution(std::move(p), {Value(0)}, lockstep(12));
+}
+
+// --- cooperative mutex ---
+
+TEST(CooperativeMutex, MutualExclusion) {
+  auto m = std::make_shared<CooperativeMutex>();
+  auto inside = std::make_shared<std::atomic<int>>(0);
+  auto violations = std::make_shared<std::atomic<int>>(0);
+  std::vector<Program> p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back([m, inside, violations](ProcessContext& ctx) {
+      for (int r = 0; r < 10; ++r) {
+        CoopLock lk(*m, ctx);
+        if (inside->fetch_add(1) != 0) violations->fetch_add(1);
+        ctx.yield();  // hold across a step to invite contention
+        inside->fetch_sub(1);
+      }
+      ctx.decide(Value(0));
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(4), lockstep(13));
+  EXPECT_FALSE(out.timed_out);
+  EXPECT_EQ(violations->load(), 0);
+}
+
+TEST(CooperativeMutex, FreeModeMutualExclusion) {
+  auto m = std::make_shared<CooperativeMutex>();
+  auto inside = std::make_shared<std::atomic<int>>(0);
+  auto violations = std::make_shared<std::atomic<int>>(0);
+  std::vector<Program> p;
+  for (int i = 0; i < 8; ++i) {
+    p.push_back([m, inside, violations](ProcessContext& ctx) {
+      for (int r = 0; r < 200; ++r) {
+        CoopLock lk(*m, ctx);
+        if (inside->fetch_add(1) != 0) violations->fetch_add(1);
+        inside->fetch_sub(1);
+      }
+      ctx.decide(Value(0));
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(8), free_mode());
+  EXPECT_FALSE(out.timed_out);
+  EXPECT_EQ(violations->load(), 0);
+}
+
+// --- shared world ---
+
+TEST(SharedWorld, CreatesOnce) {
+  SharedWorld w;
+  int made = 0;
+  auto factory = [&made] {
+    ++made;
+    return std::make_shared<int>(5);
+  };
+  auto a = w.get_or_create<int>("k", factory);
+  auto b = w.get_or_create<int>("k", factory);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(made, 1);
+}
+
+TEST(SharedWorld, TypeMismatchThrows) {
+  SharedWorld w;
+  w.get_or_create<int>("k", [] { return std::make_shared<int>(1); });
+  EXPECT_THROW(w.get_or_create<double>(
+                   "k", [] { return std::make_shared<double>(1.0); }),
+               ProtocolError);
+}
+
+TEST(SharedWorld, FindReturnsNullWhenAbsent) {
+  SharedWorld w;
+  EXPECT_EQ(w.find<int>("missing"), nullptr);
+  w.get_or_create<int>("k", [] { return std::make_shared<int>(1); });
+  EXPECT_NE(w.find<int>("k"), nullptr);
+  EXPECT_EQ(w.find<double>("k"), nullptr);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+// --- free mode smoke ---
+
+TEST(FreeMode, ManyProcessesDecide) {
+  std::vector<Program> p;
+  for (int i = 0; i < 16; ++i) {
+    p.push_back([](ProcessContext& ctx) {
+      for (int r = 0; r < 100; ++r) ctx.yield();
+      ctx.decide(ctx.input());
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(16), free_mode());
+  EXPECT_EQ(out.decided_count(), 16);
+}
+
+}  // namespace
+}  // namespace mpcn
