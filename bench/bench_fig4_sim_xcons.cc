@@ -1,14 +1,14 @@
-// FIG4 — sim_x_cons_propose (Figure 4).
+// FIG4 — sim_x_cons_propose (Figure 4), on the Experiment API.
 //
 // Source algorithms whose processes resolve one shared x-consensus object
 // (single_object_consensus), simulated in the read/write model — the
 // Section 3 path where XSAFE_AG[a] is one extra safe-agreement object.
-// Series over the source object's port count x.
+// Series over the source object's port count x. Each measured iteration
+// is one Experiment cell run through the unified builder.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "src/core/bg_engine.h"
-#include "src/core/pipeline.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 
 namespace {
@@ -23,10 +23,14 @@ void BM_SimXConsPropose(benchmark::State& state) {
     // Source ASM(x, 1, x): x processes resolve one x-ported object. Its
     // power is ⌊1/x⌋ = 0 (x >= 2), so the failure-free read/write target
     // is legal.
-    SimulatedAlgorithm a = single_object_consensus_algorithm(x, 1, x);
-    Outcome out = run_simulated(a, ModelSpec{n_simulators, 0, 1},
-                                int_inputs(n_simulators), free_mode());
-    if (out.timed_out) state.SkipWithError("timed out");
+    RunRecord rec =
+        Experiment::named("single_object_consensus", ModelSpec{x, 1, x})
+            .in(ModelSpec{n_simulators, 0, 1})
+            .inputs(int_inputs(n_simulators))
+            .base_options(free_mode())
+            .run();
+    if (rec.timed_out) state.SkipWithError("timed out");
+    if (rec.validated && !rec.valid) state.SkipWithError("task violated");
   }
   state.counters["x"] = x;
   state.counters["simulators"] = n_simulators;

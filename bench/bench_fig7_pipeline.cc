@@ -1,4 +1,4 @@
-// FIG7 — the model-equivalence chain (Figure 7).
+// FIG7 — the model-equivalence chain (Figure 7), on the Experiment API.
 //
 // Walks one algorithm across every model of the equivalence chain
 //   ASM(n1,t1,x1) -> ASM(n1,t,1) -> ASM(t+1,t,1) -> ASM(n2,t,1)
@@ -6,12 +6,17 @@
 // and prints one row per hop: model, execution kind, wall time, step
 // count, task validity. This regenerates the figure as a table: the claim
 // is that every hop solves the same colorless task.
-#include <chrono>
+//
+// All three chains expand into one cell grid and run as a single
+// parallel batch; `--json[=path]` additionally emits the whole Report as
+// machine-readable JSON (default BENCH_fig7_pipeline.json).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/models.h"
-#include "src/core/pipeline.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 #include "src/tasks/task.h"
 
@@ -20,48 +25,73 @@ using namespace mpcn::benchutil;
 
 namespace {
 
-void run_chain(const SimulatedAlgorithm& algo, const ModelSpec& other,
-               const char* label) {
-  std::printf("\n== Figure 7 chain: %s ~ %s  (%s, task: %d-set agreement)\n",
-              algo.model.to_string().c_str(), other.to_string().c_str(),
-              label, algo.model.power() + 1);
-  std::printf("%-14s %-10s %12s %10s %10s\n", "model", "kind", "wall_ms",
-              "steps", "valid");
-  const std::vector<Value> pool = int_inputs(12, 100);
-  for (const ModelSpec& hop : equivalence_chain(algo.model, other)) {
-    std::vector<Value> inputs;
-    for (int i = 0; i < hop.n; ++i) {
-      inputs.push_back(pool[static_cast<std::size_t>(i) % pool.size()]);
-    }
-    const bool direct = hop == algo.model;
-    const auto start = std::chrono::steady_clock::now();
-    Outcome out = direct ? run_direct(algo, inputs, free_mode())
-                         : run_simulated(algo, hop, inputs, free_mode());
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    KSetAgreementTask task(algo.model.power() + 1);
-    std::string why;
-    const bool valid = !out.timed_out && out.all_correct_decided() &&
-                       task.validate(inputs, out.decisions, &why);
-    std::printf("%-14s %-10s %12.2f %10llu %10s\n",
-                hop.to_string().c_str(), direct ? "direct" : "simulated", ms,
-                static_cast<unsigned long long>(out.steps),
-                valid ? "yes" : (why.empty() ? "TIMEOUT" : why.c_str()));
-  }
-}
+struct Chain {
+  SimulatedAlgorithm algo;
+  ModelSpec other;
+  const char* label;
+};
 
 }  // namespace
 
-int main() {
-  // Power-1 class: read/write 1-resilience everywhere.
-  run_chain(trivial_kset_algorithm(4, 1), ModelSpec{5, 3, 2},
-            "trivial k-set source");
-  // Power-1 class with an x-consensus-using source.
-  run_chain(group_kset_algorithm(4, 2, 2), ModelSpec{6, 1, 1},
-            "group k-set source");
-  // Power-2 class.
-  run_chain(trivial_kset_algorithm(6, 2), ModelSpec{7, 5, 2},
-            "trivial k-set source");
-  return 0;
+int main(int argc, char** argv) {
+  const std::vector<Chain> chains = {
+      // Power-1 class: read/write 1-resilience everywhere.
+      {trivial_kset_algorithm(4, 1), ModelSpec{5, 3, 2},
+       "trivial k-set source"},
+      // Power-1 class with an x-consensus-using source.
+      {group_kset_algorithm(4, 2, 2), ModelSpec{6, 1, 1},
+       "group k-set source"},
+      // Power-2 class.
+      {trivial_kset_algorithm(6, 2), ModelSpec{7, 5, 2},
+       "trivial k-set source"},
+  };
+
+  // One grid: every hop of every chain is an independent cell.
+  std::vector<ExperimentCell> grid;
+  std::vector<std::size_t> chain_starts;
+  for (const Chain& c : chains) {
+    chain_starts.push_back(grid.size());
+    const std::vector<ExperimentCell> cells =
+        Experiment::of(c.algo)
+            .label(c.label)
+            .through_chain_to(c.other)
+            .with_task(
+                std::make_shared<KSetAgreementTask>(c.algo.model.power() + 1))
+            .input_pool(int_inputs(12, 100))
+            .base_options(free_mode())
+            .cells();
+    grid.insert(grid.end(), cells.begin(), cells.end());
+  }
+  chain_starts.push_back(grid.size());
+
+  BatchOptions batch;
+  batch.title = "fig7_pipeline";
+  batch.threads = 1;  // the wall_ms column must not compete for cores
+  const Report report = run_batch(grid, batch);
+
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    const Chain& chain = chains[c];
+    std::printf(
+        "\n== Figure 7 chain: %s ~ %s  (%s, task: %d-set agreement)\n",
+        chain.algo.model.to_string().c_str(), chain.other.to_string().c_str(),
+        chain.label, chain.algo.model.power() + 1);
+    std::printf("%-14s %-10s %12s %10s %10s\n", "model", "kind", "wall_ms",
+                "steps", "valid");
+    for (std::size_t i = chain_starts[c]; i < chain_starts[c + 1]; ++i) {
+      const RunRecord& r = report.records[i];
+      const char* verdict = "yes";
+      if (!r.ok()) {
+        verdict = r.timed_out          ? "TIMEOUT"
+                  : !r.why.empty()     ? r.why.c_str()
+                  : !r.error.empty()   ? r.error.c_str()
+                                       : "undecided";
+      }
+      std::printf("%-14s %-10s %12.2f %10llu %10s\n",
+                  r.target.to_string().c_str(), to_string(r.mode), r.wall_ms,
+                  static_cast<unsigned long long>(r.steps), verdict);
+    }
+  }
+  std::printf("\n%s\n", report.summary().c_str());
+  const bool json_ok = maybe_write_report(report, argc, argv);
+  return report.all_ok() && json_ok ? 0 : 1;
 }

@@ -1,16 +1,19 @@
-// FIG8 — the colored-task simulation (Section 5.5 / Figure 8).
+// FIG8 — the colored-task simulation (Section 5.5 / Figure 8), on the
+// Experiment API.
 //
 // One colored run: n simulated processes with unique static names,
 // simulated by n' simulators over x'-safe agreements, decisions claimed
 // through T&S[1..n]. Series over (n', x'); the counter reports claimed
 // distinct simulated processes per round (must equal the number of
-// deciding simulators).
+// deciding simulators). Each measured iteration is one colored
+// Experiment cell (registry scenario "identity_colored").
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <set>
 
 #include "bench/bench_util.h"
-#include "src/core/colored_engine.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 
 namespace {
@@ -27,14 +30,15 @@ void BM_ColoredSimulation(benchmark::State& state) {
   const int n_src = std::max(n_tgt, (n_tgt - t_tgt) + t_tgt) + 1;
   std::int64_t distinct_total = 0, rounds = 0;
   for (auto _ : state) {
-    SimulatedAlgorithm a = identity_colored_algorithm(n_src, t_tgt, x_tgt);
-    SimulationPlan plan =
-        make_colored_simulation(a, ModelSpec{n_tgt, t_tgt, x_tgt});
-    Outcome out = run_execution(std::move(plan.programs), int_inputs(n_tgt),
-                                free_mode());
-    if (out.timed_out) state.SkipWithError("timed out");
+    RunRecord rec =
+        Experiment::named("identity_colored", ModelSpec{n_src, t_tgt, x_tgt})
+            .in(ModelSpec{n_tgt, t_tgt, x_tgt})  // colored engine (registry)
+            .inputs(int_inputs(n_tgt))
+            .base_options(free_mode())
+            .run();
+    if (rec.timed_out) state.SkipWithError("timed out");
     std::set<Value> claims;
-    for (const auto& d : out.decisions) {
+    for (const auto& d : rec.decisions) {
       if (d) claims.insert(d->at(0));
     }
     distinct_total += static_cast<std::int64_t>(claims.size());

@@ -1,4 +1,5 @@
-// MAIN — the solvability frontier (the main theorem as a figure).
+// MAIN — the solvability frontier (the main theorem as a figure), on the
+// Experiment API.
 //
 // For each (t', x) over a grid, k-set agreement is solvable in
 // ASM(n, t', x) iff k > ⌊t'/x⌋. Two series per cell:
@@ -13,13 +14,17 @@
 //     (budget k*x <= t'), blocking k simulated processes where the
 //     algorithm tolerates only k-1.
 // The crossover row-by-row is the paper's multiplicative-power claim.
+//
+// The whole (t', x, k, seed) grid expands into one cell vector and runs
+// as one parallel batch; `--json[=path]` emits the Report
+// (default BENCH_frontier_grid.json).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/core/bg_engine.h"
-#include "src/core/pipeline.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 #include "src/tasks/task.h"
 
@@ -41,72 +46,117 @@ CrashPlan below_frontier_adversary(int x, int k) {
                                  CrashPlan::TrapPoint::kOwnerElected);
 }
 
-// Returns "solved" or a failure description.
-const char* try_solve(int t_prime, int x, int k, std::uint64_t seed,
-                      bool trap) {
-  SimulatedAlgorithm a = trivial_kset_algorithm(kN, k - 1);
-  // Solving cells finish in a few thousand steps; the budget exists to
-  // bound the *stall* cells, which burn it fully, so keep it modest.
-  ExecutionOptions o = lockstep(seed, 120'000);
-  o.crashes = trap ? below_frontier_adversary(x, k)
-                   : CrashPlan::hazard(0.002, t_prime, seed * 7 + t_prime);
-  SimulationOptions so;
-  so.check_legality = false;  // we *want* to run illegal attempts below
-  const std::vector<Value> inputs = int_inputs(kN, 10);
-  Outcome out =
-      run_simulated(a, ModelSpec{kN, t_prime, x}, inputs, o, so);
-  if (out.timed_out) return "timeout";
-  if (!out.all_correct_decided()) return "stuck";
-  KSetAgreementTask task(k);
-  std::string why;
-  if (!task.validate(inputs, out.decisions, &why)) return "violation";
+// One (t', x, k) series: the trivial (k-1)-resilient source simulated in
+// ASM(kN, t', x) across `seed_count` seeds, frontier cells under hazard
+// crashes, below-frontier cells under the white-box trap.
+std::vector<ExperimentCell> series_cells(int t_prime, int x, int k,
+                                         bool trap, std::uint64_t seed_count) {
+  return Experiment::of(trivial_kset_algorithm(kN, k - 1))
+      .label("t" + std::to_string(t_prime) + "/x" + std::to_string(x) + "/k" +
+             std::to_string(k) + (trap ? "/below" : "/frontier"))
+      .in(ModelSpec{kN, t_prime, x})
+      .with_task(std::make_shared<KSetAgreementTask>(k))
+      .inputs(int_inputs(kN, 10))
+      .seeds(1, seed_count)
+      .crashes([t_prime, x, k, trap](const ModelSpec&, std::uint64_t seed) {
+        return trap ? below_frontier_adversary(x, k)
+                    : CrashPlan::hazard(0.002, t_prime, seed * 7 + t_prime);
+      })
+      // Solving cells finish in a few thousand steps; the budget exists to
+      // bound the *stall* cells, which burn it fully, so keep it modest.
+      .step_limit(120'000)
+      .check_legality(false)  // we *want* to run illegal attempts below
+      .cells();
+}
+
+const char* verdict(const RunRecord& r) {
+  if (!r.error.empty()) return "error";
+  if (r.timed_out) return "timeout";
+  if (!r.outcome().all_correct_decided()) return "stuck";
+  if (r.validated && !r.valid) return "violation";
   return "solved";
 }
 
 }  // namespace
 
-int main() {
-  std::printf("== Solvability frontier in ASM(%d, t', x): k-set agreement\n",
-              kN);
-  std::printf("   claim: solvable iff k > floor(t'/x)\n\n");
-  std::printf("%-5s %-3s %-10s %-22s %-22s\n", "t'", "x", "floor(t'/x)",
-              "k=floor+1 (expect ok)", "k=floor (expect fail)");
+int main(int argc, char** argv) {
+  struct Series {
+    int t_prime, x, k;
+    bool trap;
+    std::size_t start, count;
+  };
+  std::vector<ExperimentCell> grid;
+  std::vector<Series> series;
   for (int t_prime = 1; t_prime <= 5; ++t_prime) {
     for (int x = 1; x <= 3; ++x) {
       const int fl = t_prime / x;
-      // At the frontier: run 3 seeds with hazard crashes, all must solve.
-      int solved = 0;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        if (std::string(try_solve(t_prime, x, fl + 1, seed, false)) ==
-            "solved") {
-          ++solved;
-        }
-      }
-      char at_front[32];
-      std::snprintf(at_front, sizeof(at_front), "%d/3 solved", solved);
-      // Below the frontier (k = fl >= 1): the propose-trap adversary
-      // should produce a deterministic stall; scan a few seeds.
-      char below[32];
+      std::vector<ExperimentCell> cells =
+          series_cells(t_prime, x, fl + 1, false, 3);
+      series.push_back(Series{t_prime, x, fl + 1, false, grid.size(),
+                              cells.size()});
+      grid.insert(grid.end(), cells.begin(), cells.end());
       if (fl >= 1) {
-        const char* failure = "none-found";
-        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-          const char* r = try_solve(t_prime, x, fl, seed, true);
-          if (std::string(r) != "solved") {
-            failure = r;
-            break;
-          }
-        }
-        std::snprintf(below, sizeof(below), "%s", failure);
-      } else {
-        std::snprintf(below, sizeof(below), "n/a (floor=0)");
+        // The trap adversary is deterministic (white-box), so two seeds
+        // are ample to witness the stall; stall cells burn their whole
+        // step budget, so the count bounds the bench's runtime.
+        cells = series_cells(t_prime, x, fl, true, 2);
+        series.push_back(
+            Series{t_prime, x, fl, true, grid.size(), cells.size()});
+        grid.insert(grid.end(), cells.begin(), cells.end());
       }
-      std::printf("%-5d %-3d %-10d %-22s %-22s\n", t_prime, x, fl, at_front,
-                  below);
     }
   }
+
+  BatchOptions batch;
+  batch.title = "frontier_grid";
+  const Report report = run_batch(grid, batch);
+
+  std::printf("== Solvability frontier in ASM(%d, t', x): k-set agreement\n",
+              kN);
+  std::printf("   claim: solvable iff k > floor(t'/x)  (%zu cells)\n\n",
+              grid.size());
+  std::printf("%-5s %-3s %-10s %-22s %-22s\n", "t'", "x", "floor(t'/x)",
+              "k=floor+1 (expect ok)", "k=floor (expect fail)");
+  for (std::size_t s = 0; s < series.size();) {
+    const Series& front = series[s];
+    // At the frontier: every adversarial seed must solve.
+    int solved = 0;
+    for (std::size_t i = 0; i < front.count; ++i) {
+      if (std::string(verdict(report.records[front.start + i])) == "solved") {
+        ++solved;
+      }
+    }
+    char at_front[32];
+    std::snprintf(at_front, sizeof(at_front), "%d/%zu solved", solved,
+                  front.count);
+    // Below the frontier: the trap adversary should produce a
+    // deterministic failure witness on some seed.
+    char below[32];
+    std::snprintf(below, sizeof(below), "n/a (floor=0)");
+    std::size_t next = s + 1;
+    if (next < series.size() && series[next].trap &&
+        series[next].t_prime == front.t_prime &&
+        series[next].x == front.x) {
+      const Series& b = series[next];
+      const char* failure = "none-found";
+      for (std::size_t i = 0; i < b.count; ++i) {
+        const char* r = verdict(report.records[b.start + i]);
+        if (std::string(r) != "solved") {
+          failure = r;
+          break;
+        }
+      }
+      std::snprintf(below, sizeof(below), "%s", failure);
+      ++next;
+    }
+    std::printf("%-5d %-3d %-10d %-22s %-22s\n", front.t_prime, front.x,
+                front.t_prime / front.x, at_front, below);
+    s = next;
+  }
   std::printf(
-      "\nExpected shape: left column all '3/3 solved'; right column a\n"
+      "\nExpected shape: left column all 'N/N solved'; right column a\n"
       "failure witness ('timeout'/'stuck'/'violation') wherever floor >= 1\n"
       "(impossibility is witnessed, not proven, by adversarial search).\n");
-  return 0;
+  const bool json_ok = maybe_write_report(report, argc, argv);
+  return json_ok ? 0 : 1;
 }

@@ -1,77 +1,64 @@
-// ABL-2 — the cost of being simulated.
+// ABL-2 — the cost of being simulated, on the Experiment API.
 //
 // The same algorithm (trivial k-set) executed natively in its own model
 // versus through the generalized engine in equivalent models. Reports
 // wall time and model-step counts; the step ratio is the simulation's
 // intrinsic multiplier (every simulated snapshot becomes a safe-agreement
 // resolution among all simulators).
-#include <chrono>
+//
+// Cells run SEQUENTIALLY (threads = 1): the rows are a timing comparison,
+// so they must not compete for cores. `--json[=path]` emits the Report
+// (default BENCH_simulation_overhead.json).
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/pipeline.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 #include "src/tasks/task.h"
 
 using namespace mpcn;
 using namespace mpcn::benchutil;
 
-namespace {
-
-struct Row {
-  const char* kind;
-  ModelSpec model;
-};
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   SimulatedAlgorithm a = trivial_kset_algorithm(4, 1);
-  const std::vector<Value> inputs4 = int_inputs(4, 10);
-  const std::vector<Value> inputs6 = int_inputs(6, 10);
+
+  // Row 0 runs natively; rows 1.. through the engine in equivalent
+  // models of growing size and object strength.
+  Experiment e = Experiment::of(a)
+                     .label("simulation_overhead")
+                     .direct()
+                     .in_each({ModelSpec{4, 1, 1}, ModelSpec{4, 3, 2},
+                               ModelSpec{6, 1, 1}, ModelSpec{6, 5, 3}})
+                     .with_task(std::make_shared<KSetAgreementTask>(2))
+                     .input_pool(int_inputs(6, 10))
+                     .base_options(free_mode());
+
+  BatchOptions batch;
+  batch.threads = 1;  // timing rows must not compete for cores
+  batch.title = "simulation_overhead";
+  const Report report = run_batch(e.cells(), batch);
 
   std::printf("== Simulation overhead: trivial 2-set source %s\n",
               a.model.to_string().c_str());
   std::printf("%-12s %-14s %10s %10s %12s\n", "kind", "model", "wall_ms",
               "steps", "step_ratio");
-
-  double base_steps = 0;
-  const Row rows[] = {
-      {"direct", ModelSpec{4, 1, 1}},
-      {"simulated", ModelSpec{4, 1, 1}},
-      {"simulated", ModelSpec{4, 3, 2}},
-      {"simulated", ModelSpec{6, 1, 1}},
-      {"simulated", ModelSpec{6, 5, 3}},
-  };
-  for (const Row& row : rows) {
-    const std::vector<Value>& inputs = row.model.n == 4 ? inputs4 : inputs6;
-    const auto start = std::chrono::steady_clock::now();
-    Outcome out;
-    if (std::string(row.kind) == "direct") {
-      out = run_direct(a, inputs, free_mode());
-    } else {
-      out = run_simulated(a, row.model, inputs, free_mode());
-    }
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    if (std::string(row.kind) == "direct") {
-      base_steps = static_cast<double>(out.steps);
-    }
-    KSetAgreementTask task(2);
-    std::string why;
-    const bool valid = !out.timed_out && out.all_correct_decided() &&
-                       task.validate(inputs, out.decisions, &why);
-    std::printf("%-12s %-14s %10.2f %10llu %12.1fx%s\n", row.kind,
-                row.model.to_string().c_str(), ms,
-                static_cast<unsigned long long>(out.steps),
-                base_steps > 0 ? static_cast<double>(out.steps) / base_steps
+  const double base_steps =
+      report.records.empty() ? 0
+                             : static_cast<double>(report.records[0].steps);
+  for (const RunRecord& r : report.records) {
+    std::printf("%-12s %-14s %10.2f %10llu %11.1fx%s\n", to_string(r.mode),
+                r.target.to_string().c_str(), r.wall_ms,
+                static_cast<unsigned long long>(r.steps),
+                base_steps > 0 ? static_cast<double>(r.steps) / base_steps
                                : 0.0,
-                valid ? "" : "  [INVALID]");
+                r.ok() ? "" : "  [INVALID]");
   }
   std::printf(
       "\nExpected shape: simulation multiplies step counts by the\n"
       "agreement-resolution cost (grows with simulator count N and with\n"
       "x-safe-agreement width); all rows remain valid 2-set outcomes.\n");
-  return 0;
+  std::printf("\n%s\n", report.summary().c_str());
+  const bool json_ok = maybe_write_report(report, argc, argv);
+  return report.all_ok() && json_ok ? 0 : 1;
 }

@@ -1,4 +1,5 @@
-// S5.4 — the equivalence-class table (Section 5.4's worked example).
+// S5.4 — the equivalence-class table (Section 5.4's worked example), on
+// the Experiment API.
 //
 // Regenerates, for t' = 8 (the paper's example) and n = 12:
 //   "All the system models ASM(n,8,x), for 9 <= x <= n, have the same
@@ -6,12 +7,17 @@
 // Then *empirically confirms* one representative model per class: the
 // class's canonical task k-set (k = power+1) must be solvable there via
 // the simulation, and the class structure must match the analytic floors.
-#include <chrono>
+//
+// The per-class confirmation runs are independent cells of one parallel
+// batch; `--json[=path]` emits the combined Report
+// (default BENCH_s54_classes.json).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/models.h"
-#include "src/core/pipeline.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 #include "src/tasks/task.h"
 
@@ -37,45 +43,70 @@ void print_class_table(int n, int t_prime) {
   }
 }
 
-// Empirical confirmation: the canonical task of the class (k = power+1
-// set agreement) is solvable in a representative member via simulation.
-void confirm_classes(int n, int t_prime) {
+// One confirmation cell per class: the trivial k-set source for the
+// canonical model ASM(n, power, 1), simulated in the class representative
+// ASM(n, t', x_lo) (smallest x = hardest member of the class).
+std::vector<ExperimentCell> confirmation_cells(int n, int t_prime) {
+  std::vector<ExperimentCell> cells;
+  for (const EquivalenceClass& c : classes_for_t(n, t_prime)) {
+    // Wide-x targets spin-wait through big SET_LIST scans, and spin reads
+    // count as steps, so step counts vary by >10x run to run on a loaded
+    // machine: budget generously in steps and bound the cell by wall
+    // clock instead.
+    const std::vector<ExperimentCell> one =
+        Experiment::named("trivial_kset", ModelSpec{n, c.power, 1})
+            .in(ModelSpec{n, t_prime, c.x_lo})
+            .inputs(int_inputs(n, 10))
+            .base_options(free_mode(20'000'000'000ull))
+            .cells();
+    cells.insert(cells.end(), one.begin(), one.end());
+  }
+  return cells;
+}
+
+void print_confirmation(int n, int t_prime, const Report& report,
+                        std::size_t start) {
   std::printf(
       "\n== Empirical confirmation (k = power+1 set agreement per class)\n");
   std::printf("%-16s %-8s %-6s %10s %10s %8s\n", "model", "power", "k",
               "wall_ms", "steps", "result");
-  for (const EquivalenceClass& c : classes_for_t(n, t_prime)) {
-    // Representative: the smallest x of the class (hardest within class).
-    const ModelSpec m{n, t_prime, c.x_lo};
-    const int k = c.power + 1;
-    // Source: the trivial k-set algorithm for the canonical model
-    // ASM(n, power, 1), simulated in m (legal: equal powers).
-    SimulatedAlgorithm a = trivial_kset_algorithm(n, c.power);
-    const std::vector<Value> inputs = int_inputs(n, 10);
-    const auto start = std::chrono::steady_clock::now();
-    Outcome out = run_simulated(a, m, inputs, free_mode());
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    KSetAgreementTask task(k);
-    std::string why;
-    const bool valid = !out.timed_out && out.all_correct_decided() &&
-                       task.validate(inputs, out.decisions, &why);
+  const std::vector<EquivalenceClass> classes = classes_for_t(n, t_prime);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const RunRecord& r = report.records[start + i];
     std::printf("%-16s %-8d %-6d %10.2f %10llu %8s\n",
-                m.to_string().c_str(), c.power, k, ms,
-                static_cast<unsigned long long>(out.steps),
-                valid ? "solved" : "FAILED");
+                r.target.to_string().c_str(), classes[i].power,
+                classes[i].power + 1, r.wall_ms,
+                static_cast<unsigned long long>(r.steps),
+                r.ok() ? "solved" : "FAILED");
   }
 }
 
 }  // namespace
 
-int main() {
-  // The paper's example (t' = 8). n = 12 so the x > 8 class is non-empty.
-  print_class_table(12, 8);
-  confirm_classes(12, 8);
-  // A second instance to show the general shape.
-  print_class_table(10, 6);
-  confirm_classes(10, 6);
-  return 0;
+int main(int argc, char** argv) {
+  // The paper's example (t' = 8; n = 12 so the x > 8 class is non-empty),
+  // plus a second instance to show the general shape.
+  const std::vector<std::pair<int, int>> instances = {{12, 8}, {10, 6}};
+
+  std::vector<ExperimentCell> grid;
+  std::vector<std::size_t> starts;
+  for (const auto& [n, t_prime] : instances) {
+    starts.push_back(grid.size());
+    const std::vector<ExperimentCell> cells = confirmation_cells(n, t_prime);
+    grid.insert(grid.end(), cells.begin(), cells.end());
+  }
+
+  BatchOptions batch;
+  batch.title = "s54_classes";
+  batch.threads = 1;  // the wall_ms column must not compete for cores
+  const Report report = run_batch(grid, batch);
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& [n, t_prime] = instances[i];
+    print_class_table(n, t_prime);
+    print_confirmation(n, t_prime, report, starts[i]);
+  }
+  std::printf("\n%s\n", report.summary().c_str());
+  const bool json_ok = maybe_write_report(report, argc, argv);
+  return report.all_ok() && json_ok ? 0 : 1;
 }

@@ -1,4 +1,5 @@
-// Colored tasks (Section 5.5): renaming through the colored engine.
+// Colored tasks (Section 5.5): renaming through the colored engine, as a
+// registry-named Experiment.
 //
 // Colored tasks forbid two processes from adopting the same simulated
 // decision (renaming: all names distinct), so the colorless "adopt the
@@ -8,15 +9,15 @@
 //
 // Here: the classic wait-free snapshot renaming algorithm for 6 processes
 // (names in [1, 11]) is simulated by 4 simulators in ASM(4, 1, 2). The
-// simulators end up with pairwise distinct names.
+// registry knows "snapshot_renaming" is colored, so .in(target) routes
+// through the colored engine automatically. The simulators end up with
+// pairwise distinct names.
 //
 // Usage:   ./build/examples/colored_renaming
 #include <cstdio>
 #include <set>
 
-#include "src/core/colored_engine.h"
-#include "src/runtime/execution.h"
-#include "src/tasks/algorithms.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/task.h"
 
 using namespace mpcn;
@@ -25,28 +26,27 @@ int main() {
   const int n_src = 6;
   // Declared resilience t = 1 (the algorithm is wait-free, so any t is
   // sound); Section 5.5 needs n >= max(n', (n'-t') + t) = 4 <= 6.
-  SimulatedAlgorithm algo = snapshot_renaming_algorithm(n_src, 1);
+  const ModelSpec source{n_src, 1, 1};
   const ModelSpec target{4, 1, 2};
   std::printf("source : snapshot renaming, %d processes, names in [1, %d]\n",
               n_src, 2 * n_src - 1);
   std::printf("target : %s (colored simulation, x' = %d > 1)\n\n",
               target.to_string().c_str(), target.x);
 
-  SimulationPlan plan = make_colored_simulation(algo, target);
-
-  ExecutionOptions options;
-  options.mode = SchedulerMode::kLockstep;
-  options.seed = 7;
-  options.step_limit = 3'000'000;
-
   std::vector<Value> inputs;
   for (int i = 0; i < target.n; ++i) inputs.push_back(Value(i));
-  Outcome out = run_execution(std::move(plan.programs), inputs, options);
+  RunRecord rec = Experiment::named("snapshot_renaming", source)
+                      .in(target)  // colored engine: registry flag
+                      .inputs(inputs)
+                      .seed(7)
+                      .scheduler(SchedulerMode::kLockstep)
+                      .step_limit(3'000'000)
+                      .run();
 
   std::set<std::int64_t> names;
-  bool ok = !out.timed_out;
+  bool ok = !rec.timed_out;
   for (int i = 0; i < target.n; ++i) {
-    const auto& d = out.decisions[static_cast<std::size_t>(i)];
+    const auto& d = rec.decisions[static_cast<std::size_t>(i)];
     if (!d) {
       std::printf("  simulator q%d: (no decision)\n", i);
       ok = false;
@@ -63,7 +63,7 @@ int main() {
   }
   RenamingCheck check{2 * n_src - 1};
   std::vector<std::optional<Value>> just_names;
-  for (const auto& d : out.decisions) {
+  for (const auto& d : rec.decisions) {
     just_names.push_back(d ? std::optional<Value>(d->at(1)) : std::nullopt);
   }
   std::string why;
@@ -71,5 +71,6 @@ int main() {
   std::printf("\n%s\n", ok ? "All simulators hold pairwise-distinct names "
                             "from the source name space."
                            : ("FAILED: " + why).c_str());
+  std::printf("\nrecord as JSON:\n%s\n", rec.to_json().dump(2).c_str());
   return ok ? 0 : 1;
 }

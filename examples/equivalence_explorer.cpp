@@ -1,22 +1,40 @@
-// Equivalence explorer: the Section 5.4 class structure, interactively.
+// Equivalence explorer: the Section 5.4 class structure, interactively —
+// analytic tables plus an optional empirical confirmation batch on the
+// Experiment API.
 //
 // Prints, for a given failure bound t' and system size n, the partition
 // of the models ASM(n, t', x), x = 1..n, into computability classes, the
 // canonical representative of each class, and the multiplicative-power
-// windows t' in [t*x, t*x + x - 1].
+// windows t' in [t*x, t*x + x - 1]. With --confirm (automatic for small
+// n), each class is then *run*: the canonical trivial k-set algorithm
+// (k = power+1) is simulated in the class representative ASM(n, t', x_lo)
+// as one Experiment cell per class, fanned out as a batch.
 //
-// Usage:   ./build/examples/equivalence_explorer [t_prime] [n]
+// Usage:   ./build/examples/equivalence_explorer [t_prime] [n] [--confirm]
 // Default: t' = 8, n = 12 (the paper's worked example).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
-#include "src/core/models.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
+#include "src/tasks/task.h"
 
 using namespace mpcn;
 
 int main(int argc, char** argv) {
-  const int t_prime = argc > 1 ? std::atoi(argv[1]) : 8;
-  const int n = argc > 2 ? std::atoi(argv[2]) : 12;
+  bool confirm_flag = false;
+  std::vector<int> numeric;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--confirm") == 0) {
+      confirm_flag = true;
+    } else {
+      numeric.push_back(std::atoi(argv[i]));
+    }
+  }
+  const int t_prime = numeric.size() > 0 ? numeric[0] : 8;
+  const int n = numeric.size() > 1 ? numeric[1] : 12;
   if (t_prime < 1 || n <= t_prime) {
     std::fprintf(stderr, "need 1 <= t' < n (got t'=%d, n=%d)\n", t_prime, n);
     return 1;
@@ -60,5 +78,46 @@ int main(int argc, char** argv) {
       std::printf("  %d-set agreement solvable iff x >= %d\n", k, x_min);
     }
   }
-  return 0;
+
+  // ------------------------------------------------- empirical confirmation
+  // One Experiment cell per class: the canonical trivial k-set algorithm
+  // simulated in the hardest member (smallest x). Auto-enabled for small
+  // systems; larger ones take minutes, so they need the explicit flag.
+  if (!confirm_flag && n > 8) {
+    std::printf(
+        "\n(analytic tables only; pass --confirm to run one simulation per "
+        "class — minutes for n = %d)\n",
+        n);
+    return 0;
+  }
+  std::vector<ExperimentCell> grid;
+  for (const EquivalenceClass& c : classes_for_t(n, t_prime)) {
+    std::vector<Value> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(Value(10 + i));
+    ExecutionOptions free_mode;
+    free_mode.mode = SchedulerMode::kFree;
+    free_mode.step_limit = 20'000'000'000ull;
+    const std::vector<ExperimentCell> one =
+        Experiment::named("trivial_kset", ModelSpec{n, c.power, 1})
+            .in(ModelSpec{n, t_prime, c.x_lo})
+            .inputs(inputs)
+            .base_options(free_mode)
+            .cells();
+    grid.insert(grid.end(), one.begin(), one.end());
+  }
+  BatchOptions batch;
+  batch.title = "equivalence_explorer";
+  const Report report = run_batch(grid, batch);
+
+  std::printf("\nEmpirical confirmation (one run per class):\n");
+  std::printf("%-16s %-18s %10s %10s %8s\n", "model", "task", "wall_ms",
+              "steps", "result");
+  for (const RunRecord& r : report.records) {
+    std::printf("%-16s %-18s %10.2f %10llu %8s\n",
+                r.target.to_string().c_str(), r.task.c_str(), r.wall_ms,
+                static_cast<unsigned long long>(r.steps),
+                r.ok() ? "solved" : "FAILED");
+  }
+  std::printf("\n%s\n", report.summary().c_str());
+  return report.all_ok() ? 0 : 1;
 }

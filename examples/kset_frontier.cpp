@@ -1,4 +1,5 @@
-// k-set solvability frontier: watching the theorem happen.
+// k-set solvability frontier: watching the theorem happen, as one
+// Experiment batch.
 //
 // For each x in 1..3 in a 6-process system with t' = 4 allowed crashes,
 // runs k-set agreement for k around the frontier k* = floor(t'/x) + 1
@@ -6,11 +7,16 @@
 // (x, k) cells solve and which stall. The staircase in the output IS the
 // multiplicative power of consensus numbers.
 //
+// Every (x, k, seed) attempt is one ExperimentCell; the whole grid runs
+// as a single parallel batch and the table is read off the Report.
+//
 // Usage:   ./build/examples/kset_frontier
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "src/core/bg_engine.h"
-#include "src/core/pipeline.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
 #include "src/tasks/algorithms.h"
 #include "src/tasks/task.h"
 
@@ -20,68 +26,85 @@ namespace {
 
 constexpr int kN = 6;
 constexpr int kTPrime = 4;
+constexpr std::uint64_t kSeeds = 3;
 
-const char* attempt(int x, int k, std::uint64_t seed) {
-  // Candidate algorithm: the trivial (k-1)-resilient k-set algorithm,
-  // simulated in ASM(6, 4, x). Legal (and correct) iff k-1 >= floor(4/x).
-  SimulatedAlgorithm a = trivial_kset_algorithm(kN, k - 1);
-  ExecutionOptions o;
-  o.mode = SchedulerMode::kLockstep;
-  o.seed = seed;
-  // Solving cells need a few thousand steps; the budget bounds the
-  // stalling (illegal) cells, which burn all of it.
-  o.step_limit = 120'000;
+// The adversary for one (x, k) cell. Below the frontier (k <= floor and
+// k*x <= t'): the white-box propose trap — crash x simulators inside each
+// of k input-agreement proposes (k*x <= t' crashes), blocking k simulated
+// processes against a (k-1)-resilient source. At or above: seeded hazard
+// crashes within the full budget.
+CrashPlan adversary(int x, int k, std::uint64_t seed) {
   const int fl = kTPrime / x;
   if (k <= fl && k * x <= kTPrime) {
-    // Below the frontier: the white-box adversary — crash x simulators
-    // inside each of k input-agreement proposes (k*x <= t' crashes),
-    // blocking k simulated processes against a (k-1)-resilient source.
-    // x = 1: crash the first proposer mid-propose; x > 1: crash every
-    // elected owner right after it wins its test&set slot.
     std::vector<std::string> keys;
     for (int j = 0; j < k; ++j) keys.push_back("INPUT/" + std::to_string(j));
-    o.crashes = x == 1
-                    ? CrashPlan::propose_trap(std::move(keys), 1, 2)
-                    : CrashPlan::propose_trap(
-                          std::move(keys), x, 1,
-                          CrashPlan::TrapPoint::kOwnerElected);
-  } else {
-    o.crashes = CrashPlan::hazard(0.002, kTPrime, seed * 11 + 3);
+    return x == 1 ? CrashPlan::propose_trap(std::move(keys), 1, 2)
+                  : CrashPlan::propose_trap(
+                        std::move(keys), x, 1,
+                        CrashPlan::TrapPoint::kOwnerElected);
   }
-  SimulationOptions so;
-  so.check_legality = false;  // let illegal cells run and stall
-  std::vector<Value> inputs;
-  for (int i = 0; i < kN; ++i) inputs.push_back(Value(10 + i));
-  Outcome out =
-      run_simulated(a, ModelSpec{kN, kTPrime, x}, inputs, o, so);
-  if (out.timed_out || !out.all_correct_decided()) return "stall";
-  KSetAgreementTask task(k);
-  std::string why;
-  return task.validate(inputs, out.decisions, &why) ? "SOLVE" : "viol!";
+  return CrashPlan::hazard(0.002, kTPrime, seed * 11 + 3);
+}
+
+const char* verdict(const RunRecord& r) {
+  if (r.timed_out || !r.error.empty() ||
+      !r.outcome().all_correct_decided()) {
+    return "stall";
+  }
+  return (!r.validated || r.valid) ? "SOLVE" : "viol!";
 }
 
 }  // namespace
 
 int main() {
+  // Candidate per (x, k): the trivial (k-1)-resilient k-set algorithm,
+  // simulated in ASM(6, 4, x). Legal (and correct) iff k-1 >= floor(4/x);
+  // legality checks are off so illegal cells run and stall.
+  std::vector<ExperimentCell> grid;
+  std::vector<Value> inputs;
+  for (int i = 0; i < kN; ++i) inputs.push_back(Value(10 + i));
+  for (int x = 1; x <= 3; ++x) {
+    for (int k = 1; k <= 5; ++k) {
+      const std::vector<ExperimentCell> cells =
+          Experiment::of(trivial_kset_algorithm(kN, k - 1))
+              .label("x" + std::to_string(x) + "/k" + std::to_string(k))
+              .in(ModelSpec{kN, kTPrime, x})
+              .with_task(std::make_shared<KSetAgreementTask>(k))
+              .inputs(inputs)
+              .seeds(1, kSeeds)
+              .crashes([x, k](const ModelSpec&, std::uint64_t seed) {
+                return adversary(x, k, seed);
+              })
+              // Solving cells need a few thousand steps; the budget
+              // bounds the stalling (illegal) cells, which burn all of it.
+              .step_limit(120'000)
+              .check_legality(false)
+              .cells();
+      grid.insert(grid.end(), cells.begin(), cells.end());
+    }
+  }
+
+  BatchOptions batch;
+  batch.title = "kset_frontier";
+  const Report report = run_batch(grid, batch);
+
   std::printf("k-set agreement in ASM(%d, %d, x) — frontier k* = "
-              "floor(%d/x)+1\n\n",
-              kN, kTPrime, kTPrime);
+              "floor(%d/x)+1   (%zu cells)\n\n",
+              kN, kTPrime, kTPrime, grid.size());
   std::printf("%-4s %-12s", "x", "floor(t'/x)");
   for (int k = 1; k <= 5; ++k) std::printf("  k=%d  ", k);
   std::printf("\n");
+  std::size_t idx = 0;
   for (int x = 1; x <= 3; ++x) {
     const int fl = kTPrime / x;
     std::printf("%-4d %-12d", x, fl);
     for (int k = 1; k <= 5; ++k) {
-      // Worst result over 3 seeds: a cell counts as solving only if every
-      // adversarial schedule solved it.
+      // Worst result over the seeds: a cell counts as solving only if
+      // every adversarial schedule solved it.
       const char* cell = "SOLVE";
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        const char* r = attempt(x, k, seed);
-        if (std::string(r) != "SOLVE") {
-          cell = r;
-          break;
-        }
+      for (std::uint64_t s = 0; s < kSeeds; ++s) {
+        const char* r = verdict(report.records[idx++]);
+        if (std::string(r) != "SOLVE") cell = r;
       }
       std::printf(" %-6s", cell);
     }

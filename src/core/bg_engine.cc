@@ -316,6 +316,7 @@ void EngineSimulator::check_child_errors(
 
 void EngineSimulator::run_colorless(ProcessContext& ctx) {
   std::vector<ChildHandle> children = fork_children(ctx);
+  bool final_pass = false;
   for (;;) {
     {
       // Observe (and adopt) decisions while holding the step token: the
@@ -328,6 +329,9 @@ void EngineSimulator::run_colorless(ProcessContext& ctx) {
         break;
       }
     }
+    // every simulated thread finished undecided (halted/crashed) AND the
+    // final on-token re-check above saw no decision: give up.
+    if (final_pass) break;
     check_child_errors(children);
     bool all_done = true;
     for (const ChildHandle& c : children) {
@@ -336,7 +340,11 @@ void EngineSimulator::run_colorless(ProcessContext& ctx) {
         break;
       }
     }
-    if (all_done) break;  // every simulated thread finished undecided
+    // A child may record its decision and finish between the on-token
+    // observation above and this done() scan (free mode runs children at
+    // full speed), so "all done" alone must not end the adoption loop:
+    // take one more pass over the now-final decision state.
+    if (all_done) final_pass = true;
   }
   // Cancel every child NOW, while this thread is alive and unparked: no
   // grant can fire during this window, so all cancel flags become

@@ -13,6 +13,7 @@ namespace internal {
 void EngineSimulator::run_colored(ProcessContext& ctx) {
   std::vector<ChildHandle> children = fork_children(ctx);
   std::set<int> tried;  // simulated processes whose T&S this simulator lost
+  bool final_pass = false;
   for (;;) {
     // Pick the oldest candidate decision not yet contested by us. The
     // observation happens on-token so the claim schedule is
@@ -48,6 +49,9 @@ void EngineSimulator::run_colored(ProcessContext& ctx) {
       resume_proposes();
       continue;
     }
+    // all children done AND the candidate re-scan above found nothing new:
+    // no further candidates will ever arrive.
+    if (final_pass) break;
     check_child_errors(children);
     bool all_done = true;
     for (const ChildHandle& c : children) {
@@ -56,7 +60,10 @@ void EngineSimulator::run_colored(ProcessContext& ctx) {
         break;
       }
     }
-    if (all_done) break;  // no further candidates will ever arrive
+    // Children may record decisions between the on-token scan and this
+    // done() scan; re-scan the final decision state once before giving up
+    // (same race as run_colorless).
+    if (all_done) final_pass = true;
   }
   for (ChildHandle& c : children) c.cancel();
 }

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/common/errors.h"
+#include "src/experiment/experiment.h"
 #include "src/objects/x_consensus.h"
 #include "src/snapshot/primitive_snapshot.h"
 
@@ -82,10 +83,18 @@ std::vector<Program> make_direct_programs(
   return programs;
 }
 
+// The three historical entry points are thin compatibility wrappers over
+// the unified Experiment builder (src/experiment/experiment.h).
+
 Outcome run_direct(const SimulatedAlgorithm& algorithm,
                    const std::vector<Value>& inputs,
                    const ExecutionOptions& options) {
-  return run_execution(make_direct_programs(algorithm), inputs, options);
+  return Experiment::of(algorithm)
+      .direct()
+      .inputs(inputs)
+      .base_options(options)
+      .run()
+      .outcome();
 }
 
 Outcome run_simulated(const SimulatedAlgorithm& algorithm,
@@ -93,8 +102,14 @@ Outcome run_simulated(const SimulatedAlgorithm& algorithm,
                       const std::vector<Value>& inputs,
                       const ExecutionOptions& options,
                       const SimulationOptions& sim_options) {
-  SimulationPlan plan = make_simulation(algorithm, target, sim_options);
-  return run_execution(std::move(plan.programs), inputs, options);
+  return Experiment::of(algorithm)
+      .in(target)
+      .inputs(inputs)
+      .base_options(options)
+      .mem(sim_options.mem)
+      .check_legality(sim_options.check_legality)
+      .run()
+      .outcome();
 }
 
 std::vector<ChainHop> run_through_chain(
@@ -104,21 +119,23 @@ std::vector<ChainHop> run_through_chain(
   if (input_pool.empty()) {
     throw ProtocolError("run_through_chain needs a non-empty input pool");
   }
+  // Historical contract: without a crashes_for factory, hops run
+  // failure-free even if `base` carries a crash plan (a plan sized for
+  // one model must not leak into every hop of the chain).
+  Experiment e = Experiment::of(algorithm)
+                     .through_chain_to(other)
+                     .input_pool(input_pool)
+                     .base_options(base)
+                     .crashes([crashes_for](const ModelSpec& m,
+                                            std::uint64_t) {
+                       return crashes_for ? crashes_for(m)
+                                          : CrashPlan::none();
+                     });
+  // Sequential on purpose: the wrapper preserves the historical contract
+  // that a failing hop throws before later hops run.
   std::vector<ChainHop> out;
-  for (const ModelSpec& hop : equivalence_chain(algorithm.model, other)) {
-    std::vector<Value> inputs;
-    inputs.reserve(static_cast<std::size_t>(hop.n));
-    for (int i = 0; i < hop.n; ++i) {
-      inputs.push_back(input_pool[static_cast<std::size_t>(i) %
-                                  input_pool.size()]);
-    }
-    ExecutionOptions options = base;
-    options.crashes = crashes_for ? crashes_for(hop) : CrashPlan::none();
-    Outcome outcome =
-        (hop == algorithm.model)
-            ? run_direct(algorithm, inputs, options)
-            : run_simulated(algorithm, hop, inputs, options);
-    out.push_back(ChainHop{hop, std::move(outcome)});
+  for (const ExperimentCell& cell : e.cells()) {
+    out.push_back(ChainHop{cell.target, run_cell_throwing(cell).outcome()});
   }
   return out;
 }

@@ -1,6 +1,12 @@
 // Pipeline: executing a SimulatedAlgorithm natively or through the
 // engine, and the Figure 7 equivalence chain.
 //
+// COMPATIBILITY SURFACE: run_direct, run_simulated and run_through_chain
+// are thin wrappers over the unified Experiment builder
+// (src/experiment/experiment.h), which subsumes all three behind one
+// ExecutionMode axis and adds seed/model/crash grids, parallel batches
+// and structured JSON reports. New code should use Experiment directly.
+//
 // run_direct executes A in its own model (one real process per simulated
 // process, primitive snapshot memory, port-enforced x-consensus objects).
 // run_simulated executes A in any target model of at least the same power

@@ -1,0 +1,62 @@
+#include "src/experiment/batch_runner.h"
+
+#include <atomic>
+#include <thread>
+
+namespace mpcn {
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(std::move(options)) {}
+
+Report BatchRunner::run(const std::vector<ExperimentCell>& cells) const {
+  Report report;
+  report.title = options_.title;
+  if (report.title.empty()) {
+    // Derive from the first labeled cell so report files keyed by title
+    // do not collide across experiments.
+    for (const ExperimentCell& c : cells) {
+      if (!c.scenario.empty()) {
+        report.title = c.scenario;
+        break;
+      }
+    }
+    if (report.title.empty()) report.title = "batch";
+  }
+  report.records.resize(cells.size());
+  if (cells.empty()) return report;
+
+  int pool = options_.threads;
+  if (pool <= 0) {
+    pool = static_cast<int>(std::thread::hardware_concurrency());
+    if (pool <= 0) pool = 1;
+  }
+  pool = std::min<int>(pool, static_cast<int>(cells.size()));
+
+  // Work-stealing by atomic counter: each worker claims the next cell
+  // index and writes into its pre-assigned slot, so the record order is
+  // the grid order no matter how workers interleave.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      report.records[i] = run_cell(cells[i]);
+    }
+  };
+
+  if (pool == 1) {
+    worker();
+    return report;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(pool));
+  for (int w = 0; w < pool; ++w) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+  return report;
+}
+
+Report run_batch(const std::vector<ExperimentCell>& cells,
+                 BatchOptions options) {
+  return BatchRunner(std::move(options)).run(cells);
+}
+
+}  // namespace mpcn

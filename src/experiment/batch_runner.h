@@ -1,0 +1,49 @@
+// BatchRunner: fan a grid of independent ExperimentCells out over a
+// worker thread pool.
+//
+// Each cell is one self-contained Execution (its own step controller,
+// crash manager and shared world), so the grid is embarrassingly
+// parallel: workers pull the next unclaimed cell index from an atomic
+// counter and write the resulting RunRecord into its pre-assigned slot.
+// The Report therefore lists records in GRID ORDER — a pure function of
+// the experiment configuration, independent of worker interleaving —
+// which is what makes batch reports reproducible (and, with timing
+// excluded, byte-identical) across runs.
+//
+// Note the two levels of parallelism: the pool runs cells concurrently,
+// and every cell itself spawns one OS thread per simulated/simulating
+// process. threads = 0 picks a pool size from the hardware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/experiment/experiment.h"
+#include "src/experiment/record.h"
+
+namespace mpcn {
+
+struct BatchOptions {
+  // Worker pool size; 0 = std::thread::hardware_concurrency (min 1).
+  int threads = 0;
+  // Report title ("" = derived from the first cell's scenario).
+  std::string title;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  // Runs every cell (captures per-cell errors in RunRecord::error) and
+  // returns the grid-ordered Report.
+  Report run(const std::vector<ExperimentCell>& cells) const;
+
+ private:
+  BatchOptions options_;
+};
+
+// Convenience one-shot.
+Report run_batch(const std::vector<ExperimentCell>& cells,
+                 BatchOptions options = {});
+
+}  // namespace mpcn

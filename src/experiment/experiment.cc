@@ -1,0 +1,345 @@
+#include "src/experiment/experiment.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/errors.h"
+#include "src/core/colored_engine.h"
+#include "src/core/pipeline.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/registry.h"
+
+namespace mpcn {
+
+// ----------------------------------------------------------- cell runner
+
+namespace {
+
+// The record's identity fields, shared by the success and error paths so
+// they cannot drift apart.
+RunRecord init_record(const ExperimentCell& cell) {
+  RunRecord rec;
+  rec.scenario = cell.scenario;
+  rec.mode = cell.mode;
+  rec.source = cell.algorithm ? cell.algorithm->model : ModelSpec{};
+  rec.target = cell.target;
+  rec.hop_index = cell.hop_index;
+  rec.seed = cell.options.seed;
+  rec.scheduler = cell.options.mode;
+  rec.mem = cell.mem;
+  rec.inputs = cell.inputs;
+  if (cell.task) rec.task = cell.task->name();
+  return rec;
+}
+
+}  // namespace
+
+RunRecord run_cell_throwing(const ExperimentCell& cell) {
+  if (!cell.algorithm) {
+    throw ProtocolError("ExperimentCell has no algorithm");
+  }
+  const SimulatedAlgorithm& algo = *cell.algorithm;
+
+  RunRecord rec = init_record(cell);
+
+  std::vector<Program> programs;
+  switch (cell.mode) {
+    case ExecutionMode::kDirect:
+      programs = make_direct_programs(algo);
+      break;
+    case ExecutionMode::kSimulated: {
+      SimulationOptions so;
+      so.check_legality = cell.check_legality;
+      so.mem = cell.mem;
+      programs = make_simulation(algo, cell.target, so).programs;
+      break;
+    }
+    case ExecutionMode::kColored: {
+      ColoredSimulationOptions co;
+      co.check_legality = cell.check_legality;
+      programs = make_colored_simulation(algo, cell.target, co).programs;
+      break;
+    }
+    case ExecutionMode::kChain:
+      throw ProtocolError(
+          "kChain cells are expanded at Experiment::cells() time and never "
+          "executed directly");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Outcome out = run_execution(std::move(programs), cell.inputs, cell.options);
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  rec.decisions = std::move(out.decisions);
+  rec.crashed = std::move(out.crashed);
+  rec.timed_out = out.timed_out;
+  rec.steps = out.steps;
+
+  if (cell.task) {
+    rec.validated = true;
+    rec.valid = cell.task->validate(rec.inputs, rec.decisions, &rec.why);
+    if (rec.valid) rec.why.clear();
+  }
+  return rec;
+}
+
+RunRecord run_cell(const ExperimentCell& cell) {
+  try {
+    return run_cell_throwing(cell);
+  } catch (const std::exception& e) {
+    RunRecord rec = init_record(cell);
+    rec.error = e.what();
+    return rec;
+  }
+}
+
+// -------------------------------------------------------------- builder
+
+Experiment Experiment::of(SimulatedAlgorithm algorithm) {
+  algorithm.validate();
+  Experiment e;
+  e.algorithm_ =
+      std::make_shared<const SimulatedAlgorithm>(std::move(algorithm));
+  return e;
+}
+
+Experiment Experiment::named(const std::string& scenario,
+                             const ModelSpec& source) {
+  const Scenario& s = find_scenario(scenario);
+  Experiment e = Experiment::of(s.make_algorithm(source));
+  e.scenario_ = s.name;
+  e.colored_ = s.colored;
+  if (s.make_task) e.task_ = s.make_task(source);
+  return e;
+}
+
+Experiment& Experiment::direct() {
+  targets_.push_back(TargetSpec{ExecutionMode::kDirect, algorithm_->model});
+  return *this;
+}
+
+Experiment& Experiment::in(const ModelSpec& target) {
+  targets_.push_back(TargetSpec{
+      colored_ ? ExecutionMode::kColored : ExecutionMode::kSimulated,
+      target});
+  return *this;
+}
+
+Experiment& Experiment::in_each(const std::vector<ModelSpec>& targets) {
+  for (const ModelSpec& m : targets) in(m);
+  return *this;
+}
+
+Experiment& Experiment::colored_in(const ModelSpec& target) {
+  targets_.push_back(TargetSpec{ExecutionMode::kColored, target});
+  return *this;
+}
+
+Experiment& Experiment::through_chain_to(const ModelSpec& other) {
+  targets_.push_back(TargetSpec{ExecutionMode::kChain, other});
+  return *this;
+}
+
+Experiment& Experiment::with_task(
+    std::shared_ptr<const ColorlessTask> task) {
+  task_ = std::move(task);
+  return *this;
+}
+
+Experiment& Experiment::inputs(std::vector<Value> exact) {
+  inputs_fn_ = [exact = std::move(exact)](const ModelSpec& m) {
+    if (static_cast<int>(exact.size()) != m.n) {
+      throw ProtocolError(
+          "Experiment::inputs: exact inputs have size " +
+          std::to_string(exact.size()) + " but cell model " + m.to_string() +
+          " needs " + std::to_string(m.n) +
+          " (use input_pool() for mixed-size grids)");
+    }
+    return exact;
+  };
+  return *this;
+}
+
+Experiment& Experiment::input_pool(std::vector<Value> pool) {
+  if (pool.empty()) {
+    throw ProtocolError("Experiment::input_pool: pool must be non-empty");
+  }
+  inputs_fn_ = [pool = std::move(pool)](const ModelSpec& m) {
+    std::vector<Value> in;
+    in.reserve(static_cast<std::size_t>(m.n));
+    for (int i = 0; i < m.n; ++i) {
+      in.push_back(pool[static_cast<std::size_t>(i) % pool.size()]);
+    }
+    return in;
+  };
+  return *this;
+}
+
+Experiment& Experiment::inputs_fn(
+    std::function<std::vector<Value>(const ModelSpec&)> fn) {
+  inputs_fn_ = std::move(fn);
+  return *this;
+}
+
+Experiment& Experiment::seed(std::uint64_t s) { return seeds(s, s); }
+
+Experiment& Experiment::seeds(std::uint64_t lo, std::uint64_t hi) {
+  if (hi < lo) {
+    throw ProtocolError("Experiment::seeds: need lo <= hi");
+  }
+  seed_lo_ = lo;
+  seed_hi_ = hi;
+  seed_set_ = true;
+  return *this;
+}
+
+Experiment& Experiment::mem(MemKind kind) {
+  mems_ = {kind};
+  return *this;
+}
+
+Experiment& Experiment::mems(std::vector<MemKind> kinds) {
+  if (kinds.empty()) {
+    throw ProtocolError("Experiment::mems: need at least one backend");
+  }
+  mems_ = std::move(kinds);
+  return *this;
+}
+
+Experiment& Experiment::crashes(CrashPlan plan) {
+  crash_fn_ = [plan = std::move(plan)](const ModelSpec&, std::uint64_t) {
+    return plan;
+  };
+  return *this;
+}
+
+Experiment& Experiment::crashes(CrashPlanFactory plan_fn) {
+  crash_fn_ = std::move(plan_fn);
+  return *this;
+}
+
+Experiment& Experiment::scheduler(SchedulerMode mode) {
+  base_.mode = mode;
+  return *this;
+}
+
+Experiment& Experiment::step_limit(std::uint64_t limit) {
+  base_.step_limit = limit;
+  return *this;
+}
+
+Experiment& Experiment::wall_limit(std::chrono::milliseconds limit) {
+  base_.wall_limit = limit;
+  return *this;
+}
+
+Experiment& Experiment::base_options(const ExecutionOptions& options) {
+  const bool keep_seed_axis = seed_set_;
+  base_ = options;
+  if (!keep_seed_axis) {
+    seed_lo_ = seed_hi_ = options.seed;
+  }
+  return *this;
+}
+
+Experiment& Experiment::check_legality(bool check) {
+  check_legality_ = check;
+  return *this;
+}
+
+Experiment& Experiment::label(std::string scenario_label) {
+  scenario_ = std::move(scenario_label);
+  return *this;
+}
+
+std::vector<ExperimentCell> Experiment::cells() const {
+  if (!algorithm_) {
+    throw ProtocolError("Experiment: no algorithm configured");
+  }
+  if (targets_.empty()) {
+    throw ProtocolError(
+        "Experiment: pick an execution mode — direct(), in(target) or "
+        "through_chain_to(other)");
+  }
+  if (!inputs_fn_) {
+    throw ProtocolError(
+        "Experiment: set inputs(), input_pool() or inputs_fn()");
+  }
+
+  // Expand chains into per-hop (mode, model) pairs first.
+  struct ExpandedTarget {
+    ExecutionMode mode;
+    ModelSpec model;
+    int hop_index;
+  };
+  std::vector<ExpandedTarget> expanded;
+  for (const TargetSpec& t : targets_) {
+    if (t.mode != ExecutionMode::kChain) {
+      expanded.push_back(ExpandedTarget{t.mode, t.model, -1});
+      continue;
+    }
+    int hop_index = 0;
+    for (const ModelSpec& hop :
+         equivalence_chain(algorithm_->model, t.model)) {
+      const ExecutionMode hop_mode =
+          hop == algorithm_->model
+              ? ExecutionMode::kDirect
+              : (colored_ ? ExecutionMode::kColored
+                          : ExecutionMode::kSimulated);
+      expanded.push_back(ExpandedTarget{hop_mode, hop, hop_index++});
+    }
+  }
+
+  std::vector<ExperimentCell> out;
+  out.reserve(expanded.size() * (seed_hi_ - seed_lo_ + 1) * mems_.size());
+  for (const ExpandedTarget& t : expanded) {
+    const std::vector<Value> cell_inputs = inputs_fn_(t.model);
+    if (static_cast<int>(cell_inputs.size()) != t.model.n) {
+      throw ProtocolError("Experiment: inputs_fn returned " +
+                          std::to_string(cell_inputs.size()) +
+                          " inputs for model " + t.model.to_string());
+    }
+    for (std::uint64_t s = seed_lo_; s <= seed_hi_; ++s) {
+      for (MemKind mem_kind : mems_) {
+        ExperimentCell cell;
+        cell.scenario = scenario_;
+        cell.algorithm = algorithm_;
+        cell.mode = t.mode;
+        cell.target = t.model;
+        cell.hop_index = t.hop_index;
+        cell.mem = mem_kind;
+        cell.check_legality = check_legality_;
+        cell.options = base_;
+        cell.options.seed = s;
+        if (crash_fn_) cell.options.crashes = crash_fn_(t.model, s);
+        cell.task = task_;
+        cell.inputs = cell_inputs;
+        out.push_back(std::move(cell));
+      }
+    }
+  }
+  return out;
+}
+
+RunRecord Experiment::run() const {
+  const std::vector<ExperimentCell> grid = cells();
+  if (grid.size() != 1) {
+    throw ProtocolError(
+        "Experiment::run is for single-cell experiments (grid has " +
+        std::to_string(grid.size()) + " cells); use run_all()");
+  }
+  return run_cell_throwing(grid.front());
+}
+
+Report Experiment::run_all(const BatchOptions& batch) const {
+  BatchOptions opts = batch;
+  if (opts.title.empty()) {
+    opts.title = scenario_.empty() ? "experiment" : scenario_;
+  }
+  return BatchRunner(opts).run(cells());
+}
+
+Report Experiment::run_all() const { return run_all(BatchOptions{}); }
+
+}  // namespace mpcn

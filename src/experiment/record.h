@@ -1,0 +1,106 @@
+// Structured experiment results: one RunRecord per executed cell, one
+// Report per batch.
+//
+// The paper's claim is an *equivalence of models*, so demonstrating it
+// means running the same algorithm across many (model, seed, crash-plan,
+// memory-backend) cells and comparing outcomes at scale. RunRecord is the
+// machine-readable unit of comparison: everything a run produced
+// (decisions, crashes, step count, wall time) plus everything needed to
+// interpret it (source/target model, seed, task verdict). Report is the
+// ordered aggregate a BatchRunner emits.
+//
+// JSON: to_json()/from_json() round-trip every field except wall-clock
+// times, which can be excluded (include_timing = false) so that reports
+// from identical seed grids compare byte-identical — the determinism
+// contract the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/value.h"
+#include "src/core/bg_engine.h"
+#include "src/core/models.h"
+#include "src/runtime/execution.h"
+
+namespace mpcn {
+
+// The single execution-mode axis that subsumes the historical entry
+// points run_direct / run_simulated / run_through_chain (pipeline.h) plus
+// the colored engine:
+//   kDirect    — A runs natively in its own model;
+//   kSimulated — A runs in a target model through the generalized engine;
+//   kChain     — A walks every model of the Figure 7 equivalence chain
+//                (expands to one kDirect/kSimulated cell per hop);
+//   kColored   — A runs through the colored engine (Section 5.5).
+enum class ExecutionMode { kDirect, kSimulated, kChain, kColored };
+
+const char* to_string(ExecutionMode mode);
+ExecutionMode execution_mode_from_string(const std::string& s);
+
+const char* to_string(MemKind mem);
+MemKind mem_kind_from_string(const std::string& s);
+
+const char* to_string(SchedulerMode mode);
+SchedulerMode scheduler_mode_from_string(const std::string& s);
+
+// Value <-> Json. The mapping is bijective per Value kind:
+// nil <-> null, int <-> integer, string <-> string, list <-> array.
+Json value_to_json(const Value& v);
+Value value_from_json(const Json& j);
+
+struct RunRecord {
+  std::string scenario;  // registry name or user label ("" if unnamed)
+  ExecutionMode mode = ExecutionMode::kDirect;  // mode this cell executed in
+  ModelSpec source;      // the model the algorithm was written for
+  ModelSpec target;      // the model the cell actually ran in
+  int hop_index = -1;    // >= 0: position within a kChain expansion
+  std::uint64_t seed = 0;
+  SchedulerMode scheduler = SchedulerMode::kLockstep;
+  MemKind mem = MemKind::kPrimitive;
+
+  std::vector<Value> inputs;
+  std::vector<std::optional<Value>> decisions;
+  std::vector<bool> crashed;
+  bool timed_out = false;
+  std::uint64_t steps = 0;
+  double wall_ms = 0.0;
+
+  std::string task;        // validating task's name ("" = not validated)
+  bool validated = false;  // a task verdict was computed
+  bool valid = false;      // the verdict
+  std::string why;         // failure explanation when !valid
+
+  std::string error;  // exception text if the cell threw ("" = clean run)
+
+  // Clean run + liveness + (when validated) task relation all hold.
+  bool ok() const;
+
+  // Reconstruct the classic Outcome view of this record.
+  Outcome outcome() const;
+
+  Json to_json(bool include_timing = true) const;
+  static RunRecord from_json(const Json& j);
+};
+
+struct Report {
+  std::string title;
+  std::vector<RunRecord> records;  // cell order, deterministic
+
+  int ok_count() const;
+  int failed_count() const;
+  bool all_ok() const;
+  std::uint64_t total_steps() const;
+  double total_wall_ms() const;
+
+  Json to_json(bool include_timing = true) const;
+  static Report from_json(const Json& j);
+
+  // One-line human summary ("12/12 cells ok, 48,230 steps").
+  std::string summary() const;
+};
+
+}  // namespace mpcn

@@ -1,0 +1,101 @@
+#include "src/experiment/registry.h"
+
+#include "src/common/errors.h"
+#include "src/common/ids.h"
+#include "src/tasks/algorithms.h"
+
+namespace mpcn {
+
+namespace {
+
+void require_rw_source(const char* scenario, const ModelSpec& m) {
+  if (m.x != 1) {
+    throw ProtocolError(std::string(scenario) +
+                        " is a read/write-source scenario: source model must "
+                        "have x = 1, got " +
+                        m.to_string());
+  }
+}
+
+std::vector<Scenario> build_registry() {
+  std::vector<Scenario> reg;
+
+  reg.push_back(Scenario{
+      "trivial_kset",
+      "textbook t-resilient (t+1)-set agreement for ASM(n, t, 1)",
+      [](const ModelSpec& m) {
+        require_rw_source("trivial_kset", m);
+        return trivial_kset_algorithm(m.n, m.t);
+      },
+      [](const ModelSpec& m) -> std::shared_ptr<const ColorlessTask> {
+        return std::make_shared<KSetAgreementTask>(m.t + 1);
+      },
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
+      "group_kset",
+      "direct frontier algorithm for ASM(n, t, x): k = floor(t/x) + 1 "
+      "set agreement through x-ported group objects",
+      [](const ModelSpec& m) { return group_kset_algorithm(m.n, m.t, m.x); },
+      [](const ModelSpec& m) -> std::shared_ptr<const ColorlessTask> {
+        return std::make_shared<KSetAgreementTask>(floor_div(m.t, m.x) + 1);
+      },
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
+      "single_object_consensus",
+      "wait-free consensus through one n-ported object (needs x >= n)",
+      [](const ModelSpec& m) {
+        return single_object_consensus_algorithm(m.n, m.t, m.x);
+      },
+      [](const ModelSpec&) -> std::shared_ptr<const ColorlessTask> {
+        return std::make_shared<ConsensusTask>();
+      },
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
+      "snapshot_renaming",
+      "wait-free snapshot-based adaptive (2n-1)-renaming (colored)",
+      [](const ModelSpec& m) {
+        require_rw_source("snapshot_renaming", m);
+        return snapshot_renaming_algorithm(m.n, m.t);
+      },
+      /*make_task=*/nullptr,
+      /*colored=*/true});
+
+  reg.push_back(Scenario{
+      "identity_colored",
+      "diagnostic colored task: p_j decides the unique name j+1",
+      [](const ModelSpec& m) {
+        return identity_colored_algorithm(m.n, m.t, m.x);
+      },
+      /*make_task=*/nullptr,
+      /*colored=*/true});
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_registry() {
+  static const std::vector<Scenario> kRegistry = build_registry();
+  return kRegistry;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(scenario_registry().size());
+  for (const Scenario& s : scenario_registry()) names.push_back(s.name);
+  return names;
+}
+
+const Scenario& find_scenario(const std::string& name) {
+  for (const Scenario& s : scenario_registry()) {
+    if (s.name == name) return s;
+  }
+  std::string msg = "unknown scenario '" + name + "'; available:";
+  for (const Scenario& s : scenario_registry()) msg += " " + s.name;
+  throw ProtocolError(msg);
+}
+
+}  // namespace mpcn

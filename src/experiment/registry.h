@@ -1,0 +1,49 @@
+// The scenario registry: string-addressable algorithm/task factories.
+//
+// Benches, examples and future CLI/driver layers need to name workloads
+// without hard-coding constructor calls; the registry maps a scenario
+// name to (a) a factory building the SimulatedAlgorithm for a requested
+// source model and (b) the canonical ColorlessTask it solves there. It
+// covers the whole algorithm zoo of src/tasks/algorithms.h.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sim_api.h"
+#include "src/tasks/task.h"
+
+namespace mpcn {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  // Build the algorithm for source model `m`. Scenarios whose source is
+  // read/write (x = 1 structurally) reject m.x != 1 with ProtocolError.
+  std::function<SimulatedAlgorithm(const ModelSpec& m)> make_algorithm;
+
+  // The canonical colorless task the scenario solves in source model `m`
+  // (null for colored scenarios, which are validated by task-specific
+  // checks such as RenamingCheck instead).
+  std::function<std::shared_ptr<const ColorlessTask>(const ModelSpec& m)>
+      make_task;
+
+  // Colored scenarios run through the colored engine (Section 5.5) when
+  // simulated in a target model.
+  bool colored = false;
+};
+
+// All registered scenarios, in stable order.
+const std::vector<Scenario>& scenario_registry();
+
+// Names only, registry order.
+std::vector<std::string> scenario_names();
+
+// Lookup by exact name. Unknown names throw ProtocolError listing the
+// available scenarios (string-addressable APIs must fail loudly).
+const Scenario& find_scenario(const std::string& name);
+
+}  // namespace mpcn

@@ -20,6 +20,7 @@
 // hidden OS-level waits.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
