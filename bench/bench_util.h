@@ -13,6 +13,24 @@
 
 namespace mpcn::benchutil {
 
+// --wait=<condvar|spin_park|spin> / --wait <name>: the token-handoff
+// strategy the bench's lock-step cells run under (wait_strategy.h).
+// Defaults to the process-wide default (MPCN_WAIT_STRATEGY or condvar),
+// so BENCH_*.json trajectories are labeled and comparable across both CLI
+// and environment selection.
+inline WaitStrategy wait_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--wait" && i + 1 < argc) {
+      return wait_strategy_from_string(argv[i + 1]);
+    }
+    if (arg.rfind("--wait=", 0) == 0) {
+      return wait_strategy_from_string(arg.substr(7));
+    }
+  }
+  return default_wait_strategy();
+}
+
 inline ExecutionOptions free_mode(std::uint64_t step_limit = 50'000'000) {
   ExecutionOptions o;
   o.mode = SchedulerMode::kFree;
@@ -20,12 +38,14 @@ inline ExecutionOptions free_mode(std::uint64_t step_limit = 50'000'000) {
   return o;
 }
 
-inline ExecutionOptions lockstep(std::uint64_t seed,
-                                 std::uint64_t step_limit = 2'000'000) {
+inline ExecutionOptions lockstep(
+    std::uint64_t seed, std::uint64_t step_limit = 2'000'000,
+    WaitStrategy wait = default_wait_strategy()) {
   ExecutionOptions o;
   o.mode = SchedulerMode::kLockstep;
   o.seed = seed;
   o.step_limit = step_limit;
+  o.wait = wait;
   return o;
 }
 

@@ -360,6 +360,7 @@ void EngineSimulator::run_colorless(ProcessContext& ctx) {
 void EngineSimulator::enter_propose_section(ProcessContext& cctx,
                                             const std::string& key) {
   (void)key;
+  YieldBackoff backoff(cctx.scheduler_mode());
   for (;;) {
     if (!paused_.load(std::memory_order_acquire)) {
       active_proposes_.fetch_add(1, std::memory_order_acq_rel);
@@ -367,6 +368,7 @@ void EngineSimulator::enter_propose_section(ProcessContext& cctx,
       active_proposes_.fetch_sub(1, std::memory_order_acq_rel);
     }
     cctx.yield();
+    backoff.pause();
   }
 }
 
@@ -384,8 +386,10 @@ void EngineSimulator::exit_propose_section() {
 
 void EngineSimulator::pause_proposes(ProcessContext& ctx) {
   paused_.store(true, std::memory_order_release);
+  YieldBackoff backoff(ctx.scheduler_mode());
   while (active_proposes_.load(std::memory_order_acquire) != 0) {
     ctx.yield();
+    backoff.pause();
   }
 }
 

@@ -48,7 +48,10 @@ Value SafeAgreement::decide(ProcessContext& ctx) {
     }
   }
   // (04) wait until no entry is unstable. Each snapshot is a model step,
-  // so the wait is schedulable and a crashed decider unwinds here.
+  // so the wait is schedulable and a crashed decider unwinds here. In
+  // free mode the backoff keeps losing deciders from flooding the step
+  // clock with re-reads.
+  YieldBackoff backoff(ctx.scheduler_mode());
   for (;;) {
     const std::vector<Value> sm = sm_.snapshot(ctx);
     bool any_unstable = false;
@@ -68,6 +71,7 @@ Value SafeAgreement::decide(ProcessContext& ctx) {
       // executes line 05").
       throw ProtocolError("SafeAgreement: no stable value at decide");
     }
+    backoff.pause();
   }
 }
 

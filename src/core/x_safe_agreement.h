@@ -51,6 +51,8 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/core/agreement_factory.h"
 #include "src/core/x_compete.h"
@@ -63,6 +65,15 @@ namespace mpcn {
 // SET_LIST. Exposed for tests.
 std::vector<int> unrank_combination(int n, int x, std::int64_t rank);
 std::int64_t rank_combination(int n, const std::vector<int>& subset);
+
+// The pruned SET_LIST scan: the C(n-1, x-1) subsets that contain `member`,
+// as (rank, members) pairs in ascending rank — i.e. the subsequence of the
+// global lexicographic SET_LIST an owner actually visits. Skipping the
+// C(n, x) - C(n-1, x-1) subsets that cannot contain the caller (and their
+// per-subset unranking) is what keeps wide-x cells like ASM(12, 8, 5) from
+// burning hundreds of millions of spin steps while owners scan.
+std::vector<std::pair<std::int64_t, std::vector<int>>>
+member_combination_scan(int n, int x, int member);
 
 class XSafeAgreement : public AgreementObject {
  public:
@@ -83,11 +94,10 @@ class XSafeAgreement : public AgreementObject {
   std::int64_t consensus_objects_created() const;
 
  private:
-  XConsensus& xcons_for(std::int64_t rank);
+  XConsensus& xcons_for(std::int64_t rank, const std::vector<int>& members);
 
   const int width_;
   const int x_;
-  const std::int64_t m_;  // C(width, x)
   const CompeteHook compete_hook_;
   XCompete compete_;      // X_T&S
   AtomicRegister decided_register_;  // X_SAFE_AG

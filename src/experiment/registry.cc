@@ -54,6 +54,23 @@ std::vector<Scenario> build_registry() {
       /*colored=*/false});
 
   reg.push_back(Scenario{
+      "step_churn",
+      "pure step-token churn: 2001 register writes per process (input + "
+      "2000 rounds), decide your input (scheduler-handoff workload)",
+      [](const ModelSpec& m) {
+        require_rw_source("step_churn", m);
+        if (m.t != 0) {
+          throw ProtocolError(
+              "step_churn is a crash-free workload: source model must have "
+              "t = 0, got " +
+              m.to_string());
+        }
+        return step_churn_algorithm(m.n, 2000);
+      },
+      /*make_task=*/nullptr,
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
       "snapshot_renaming",
       "wait-free snapshot-based adaptive (2n-1)-renaming (colored)",
       [](const ModelSpec& m) {

@@ -3,8 +3,10 @@
 namespace mpcn {
 
 void CooperativeMutex::lock(ProcessContext& ctx) {
+  YieldBackoff backoff(ctx.scheduler_mode());
   while (!try_lock()) {
     ctx.yield();
+    backoff.pause();
   }
 }
 

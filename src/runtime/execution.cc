@@ -39,8 +39,8 @@ Execution::Execution(std::vector<Program> programs, std::vector<Value> inputs,
     throw ProtocolError("inputs size must match program count");
   }
   if (options_.mode == SchedulerMode::kLockstep) {
-    controller_ = std::make_unique<LockstepController>(options_.seed,
-                                                       options_.step_limit);
+    controller_ = std::make_unique<LockstepController>(
+        options_.seed, options_.step_limit, options_.wait);
   } else {
     controller_ = std::make_unique<FreeController>(options_.step_limit);
   }
@@ -133,28 +133,19 @@ Outcome Execution::run() {
     });
   }
 
+  // Event-driven completion: every worker notifies cv_ when it exits, and
+  // the all-correct-decided stop is requested on-token from decision and
+  // crash events (maybe_stop_all_correct_decided), so the monitor thread
+  // sleeps until the run is over — no periodic polling. Only the wall
+  // deadline still needs a timed wait, and it fires at most once.
   const auto deadline = std::chrono::steady_clock::now() + options_.wall_limit;
   bool wall_timed_out = false;
   {
     std::unique_lock<std::mutex> lk(m_);
-    while (threads_done_ < n_) {
-      cv_.wait_for(lk, std::chrono::milliseconds(20));
-      if (options_.stop_when_all_correct_decided &&
-          !controller_->stop_requested()) {
-        bool all = true;
-        for (ProcessId pid = 0; pid < n_; ++pid) {
-          if (!decisions_[static_cast<std::size_t>(pid)].has_value() &&
-              !crash_mgr_->is_crashed(pid)) {
-            all = false;
-            break;
-          }
-        }
-        if (all) controller_->request_stop();
-      }
-      if (!wall_timed_out && std::chrono::steady_clock::now() > deadline) {
-        wall_timed_out = true;
-        controller_->request_stop();
-      }
+    if (!cv_.wait_until(lk, deadline, [&] { return threads_done_ >= n_; })) {
+      wall_timed_out = true;
+      controller_->request_stop();
+      cv_.wait(lk, [&] { return threads_done_ >= n_; });
     }
   }
   for (std::thread& t : threads) t.join();

@@ -33,6 +33,9 @@ using Program = std::function<void(ProcessContext&)>;
 
 struct ExecutionOptions {
   SchedulerMode mode = SchedulerMode::kLockstep;
+  // Token-handoff mechanism for lock-step runs (wait_strategy.h). Any
+  // choice yields the same seeded schedule; only wall time differs.
+  WaitStrategy wait = default_wait_strategy();
   std::uint64_t seed = 1;
   std::uint64_t step_limit = 1'000'000;
   std::chrono::milliseconds wall_limit{120'000};

@@ -66,8 +66,10 @@ ChildHandle ProcessContext::fork(std::function<void(ProcessContext&)> fn) {
 
 void ChildHandle::join(ProcessContext& parent) {
   if (!s_) return;
+  YieldBackoff backoff(parent.scheduler_mode());
   while (!s_->done.load(std::memory_order_acquire)) {
     parent.yield();
+    backoff.pause();
   }
   if (s_->thread.joinable()) s_->thread.join();
   if (s_->error) {

@@ -115,6 +115,11 @@ class ProcessContext {
   // stay schedulable and crashed/stopped threads unwind promptly.
   void yield() { step(); }
 
+  // The scheduler mode of the run — lets spin loops construct a
+  // YieldBackoff that backs off in free mode only (under lock-step the
+  // controller already serializes every spin read).
+  SchedulerMode scheduler_mode() const { return backend_->controller().mode(); }
+
   // The process's task input (Section 2.1: I[j]).
   Value input() const { return backend_->input_of(pid()); }
 

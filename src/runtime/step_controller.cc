@@ -29,13 +29,18 @@ std::uint64_t FreeController::steps() const {
 // ------------------------------------------------------------ Lockstep mode
 
 LockstepController::LockstepController(std::uint64_t seed,
-                                       std::uint64_t step_limit)
-    : rng_(seed), step_limit_(step_limit) {}
+                                       std::uint64_t step_limit,
+                                       WaitStrategy wait)
+    : rng_(seed),
+      step_limit_(step_limit),
+      wait_(wait),
+      waiter_(make_token_waiter(wait)),
+      wake_under_lock_(waiter_->wake_under_lock()) {}
 
-LockstepController::Waiter& LockstepController::waiter_for(ThreadId tid) {
-  auto it = waiters_.find(tid);
-  if (it == waiters_.end()) {
-    it = waiters_.emplace(tid, std::make_unique<Waiter>()).first;
+ParkFlag& LockstepController::slot_for(ThreadId tid) {
+  auto it = slots_.find(tid);
+  if (it == slots_.end()) {
+    it = slots_.emplace(tid, std::make_unique<ParkFlag>()).first;
   }
   return *it->second;
 }
@@ -45,19 +50,34 @@ void LockstepController::enter(ThreadId tid) {
   alive_.insert(tid);
 }
 
-void LockstepController::leave(ThreadId tid) {
-  std::lock_guard<std::mutex> lk(m_);
-  alive_.erase(tid);
-  parked_.erase(tid);
-  maybe_grant();
+std::vector<ParkFlag*> LockstepController::all_slots() const {
+  std::vector<ParkFlag*> out;
+  out.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) out.push_back(slot.get());
+  return out;
 }
 
-void LockstepController::maybe_grant() {
-  if (stop_ || has_holder_) return;
+void LockstepController::leave(ThreadId tid) {
+  ParkFlag* wake = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    alive_.erase(tid);
+    parked_.erase(tid);
+    wake = maybe_grant();
+    if (wake && wake_under_lock_) {
+      waiter_->wake(*wake);
+      wake = nullptr;
+    }
+  }
+  if (wake) waiter_->wake(*wake);
+}
+
+ParkFlag* LockstepController::maybe_grant() {
+  if (stop_ || has_holder_) return nullptr;
   // Deterministic grant: wait until *every* live thread is parked, then
   // draw uniformly. std::set iteration is ordered, so the draw depends
   // only on the RNG state and the (deterministic) set contents.
-  if (parked_.empty() || parked_.size() != alive_.size()) return;
+  if (parked_.empty() || parked_.size() != alive_.size()) return nullptr;
   auto it = parked_.begin();
   std::advance(it, static_cast<long>(rng_.index(parked_.size())));
   holder_ = *it;
@@ -69,15 +89,46 @@ void LockstepController::maybe_grant() {
     grant_sets_.push_back(std::move(set));
   }
   // Targeted wakeup: only the granted thread needs to run.
-  waiter_for(holder_).cv.notify_all();
+  return &slot_for(holder_);
 }
 
 bool LockstepController::acquire(ThreadId tid) {
   std::unique_lock<std::mutex> lk(m_);
+  ParkFlag& slot = slot_for(tid);
+  // Consume any stale permit from the previous grant. Safe without the
+  // slot handshake even though spin-strategy wakes are delivered after
+  // the waker unlocks m_: the only targeted wake ever in flight for this
+  // slot is the one that granted US the token (a new grant cannot be
+  // drawn until we re-park), and we cannot reach this arm() without
+  // having observed that wake and released the token; stop/timeout
+  // broadcasts are terminal, so re-arming after one is harmless — the
+  // predicate loop checks stop_ before parking.
+  slot.arm();
+  // Spin-budget hint for the spin-park strategy: with few live threads a
+  // grant is at most a few scheduler rotations away, so staying runnable
+  // (yield-spinning) skips the kernel sleep/wake round trip; in a crowd
+  // the expected wait spans the whole live set and parking immediately
+  // is cheaper for everyone.
+  slot.spin_budget.store(alive_.size() <= 4 ? 64 : 0,
+                         std::memory_order_relaxed);
   parked_.insert(tid);
-  Waiter& w = waiter_for(tid);
-  maybe_grant();
-  w.cv.wait(lk, [&] { return stop_ || (has_holder_ && holder_ == tid); });
+  // A grant fired here either picks us (the loop is skipped and no wake
+  // needs delivering — we never park) or a peer, woken under or after the
+  // lock per the strategy's discipline, before we park ourselves.
+  ParkFlag* wake = maybe_grant();
+  while (!stop_ && !(has_holder_ && holder_ == tid)) {
+    if (wake != nullptr && wake_under_lock_) {
+      waiter_->wake(*wake);
+      wake = nullptr;
+    }
+    lk.unlock();
+    if (wake != nullptr) {
+      waiter_->wake(*wake);
+      wake = nullptr;
+    }
+    waiter_->park(slot);
+    lk.lock();
+  }
   parked_.erase(tid);
   if (stop_) {
     // Give up a token we may have been granted concurrently with the stop.
@@ -88,22 +139,41 @@ bool LockstepController::acquire(ThreadId tid) {
 }
 
 void LockstepController::release(ThreadId tid) {
-  std::lock_guard<std::mutex> lk(m_);
-  if (has_holder_ && holder_ == tid) has_holder_ = false;
-  ++steps_;
-  if (steps_ >= step_limit_ && !stop_) {
-    stop_ = true;
-    timed_out_ = true;
-    for (auto& [id, w] : waiters_) w->cv.notify_all();
-    return;
+  ParkFlag* wake = nullptr;
+  std::vector<ParkFlag*> broadcast;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (has_holder_ && holder_ == tid) has_holder_ = false;
+    ++steps_;
+    if (steps_ >= step_limit_ && !stop_) {
+      stop_ = true;
+      timed_out_ = true;
+      broadcast = all_slots();
+    } else {
+      wake = maybe_grant();
+    }
+    if (wake_under_lock_) {
+      if (wake) waiter_->wake(*wake);
+      for (ParkFlag* slot : broadcast) waiter_->wake(*slot);
+      return;
+    }
   }
-  maybe_grant();
+  if (wake) waiter_->wake(*wake);
+  for (ParkFlag* slot : broadcast) waiter_->wake(*slot);
 }
 
 void LockstepController::request_stop() {
-  std::lock_guard<std::mutex> lk(m_);
-  stop_ = true;
-  for (auto& [id, w] : waiters_) w->cv.notify_all();
+  std::vector<ParkFlag*> broadcast;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+    broadcast = all_slots();
+    if (wake_under_lock_) {
+      for (ParkFlag* slot : broadcast) waiter_->wake(*slot);
+      return;
+    }
+  }
+  for (ParkFlag* slot : broadcast) waiter_->wake(*slot);
 }
 
 bool LockstepController::stop_requested() const {

@@ -15,13 +15,18 @@
 //    is what makes the crash-injection tests of the paper's blocking
 //    lemmas (Lemma 1, Lemma 7) precise.
 //
+// WHO runs next is decided here; HOW the losers wait is delegated to a
+// pluggable WaitStrategy (wait_strategy.h). The grant schedule is a pure
+// function of the seed and the parked-set evolution, so every strategy
+// produces byte-identical grant traces — the strategy only changes the
+// wall-clock cost of each handoff.
+//
 // All protocol-level blocking in the library is yield-spinning through a
 // controller (no native blocking), so lock-step runs cannot deadlock on
 // hidden OS-level waits.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -32,14 +37,15 @@
 
 #include "src/common/ids.h"
 #include "src/common/rng.h"
+#include "src/runtime/wait_strategy.h"
 
 namespace mpcn {
-
-enum class SchedulerMode { kFree, kLockstep };
 
 class StepController {
  public:
   virtual ~StepController() = default;
+
+  virtual SchedulerMode mode() const = 0;
 
   // Thread lifecycle. enter() must be called by the *creator* of the thread
   // before the thread starts (so the set of live threads evolves
@@ -72,6 +78,7 @@ class FreeController : public StepController {
  public:
   explicit FreeController(std::uint64_t step_limit);
 
+  SchedulerMode mode() const override { return SchedulerMode::kFree; }
   void enter(ThreadId) override {}
   void leave(ThreadId) override {}
   bool acquire(ThreadId) override;
@@ -91,8 +98,10 @@ class FreeController : public StepController {
 // Deterministic lock-step controller (see file comment).
 class LockstepController : public StepController {
  public:
-  LockstepController(std::uint64_t seed, std::uint64_t step_limit);
+  LockstepController(std::uint64_t seed, std::uint64_t step_limit,
+                     WaitStrategy wait = default_wait_strategy());
 
+  SchedulerMode mode() const override { return SchedulerMode::kLockstep; }
   void enter(ThreadId tid) override;
   void leave(ThreadId tid) override;
   bool acquire(ThreadId tid) override;
@@ -105,25 +114,29 @@ class LockstepController : public StepController {
   void enable_grant_trace() override;
   std::vector<std::string> grant_sets() const;
 
- private:
-  // One condition variable per thread: grants wake only the chosen
-  // thread, avoiding an O(threads) thundering herd on every step.
-  struct Waiter {
-    std::condition_variable cv;
-  };
+  WaitStrategy wait_strategy() const { return wait_; }
 
+ private:
   // Grants the token if every live thread is parked and none holds it.
-  // Caller must hold m_.
-  void maybe_grant();
-  Waiter& waiter_for(ThreadId tid);  // caller must hold m_
+  // Caller must hold m_. Returns the slot of the thread to wake (nullptr
+  // if no grant fired); the caller delivers the wake AFTER unlocking m_,
+  // so the woken thread never stalls on the mutex the waker still holds.
+  ParkFlag* maybe_grant();
+  ParkFlag& slot_for(ThreadId tid);  // caller must hold m_
+  std::vector<ParkFlag*> all_slots() const;  // caller must hold m_
 
   mutable std::mutex m_;
   Rng rng_;
   const std::uint64_t step_limit_;
+  const WaitStrategy wait_;
+  const std::unique_ptr<TokenWaiter> waiter_;
+  const bool wake_under_lock_;
   std::uint64_t steps_ = 0;
   std::set<ThreadId> alive_;
   std::set<ThreadId> parked_;
-  std::map<ThreadId, std::unique_ptr<Waiter>> waiters_;
+  // One parking slot per thread: grants wake only the chosen thread,
+  // avoiding an O(threads) thundering herd on every step.
+  std::map<ThreadId, std::unique_ptr<ParkFlag>> slots_;
   bool has_holder_ = false;
   ThreadId holder_{};
   bool stop_ = false;

@@ -1,0 +1,183 @@
+#include "src/runtime/wait_strategy.h"
+
+#include <cstdlib>
+
+#include "src/common/errors.h"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mpcn {
+
+const char* to_string(WaitStrategy w) {
+  switch (w) {
+    case WaitStrategy::kCondvar:
+      return "condvar";
+    case WaitStrategy::kSpinPark:
+      return "spin_park";
+    case WaitStrategy::kSpin:
+      return "spin";
+  }
+  return "?";
+}
+
+WaitStrategy wait_strategy_from_string(const std::string& s) {
+  if (s == "condvar") return WaitStrategy::kCondvar;
+  if (s == "spin_park") return WaitStrategy::kSpinPark;
+  if (s == "spin") return WaitStrategy::kSpin;
+  throw ProtocolError("unknown WaitStrategy: " + s +
+                      " (expected condvar, spin_park or spin)");
+}
+
+WaitStrategy default_wait_strategy() {
+  static const WaitStrategy s = [] {
+    const char* env = std::getenv("MPCN_WAIT_STRATEGY");
+    if (env == nullptr || *env == '\0') return WaitStrategy::kCondvar;
+    return wait_strategy_from_string(env);
+  }();
+  return s;
+}
+
+namespace {
+
+#if defined(__linux__)
+void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+void futex_wake_one(std::atomic<std::uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+}
+#endif
+
+// ---------------------------------------------------------------- condvar
+//
+// The classic monitor handshake: the waker stores the permit while holding
+// the slot mutex, so a parker that saw no permit is guaranteed to be
+// blocked on the cv (holding the same mutex) when notify fires.
+class CondvarWaiter : public TokenWaiter {
+ public:
+  void park(ParkFlag& f) override {
+    std::unique_lock<std::mutex> lk(f.m);
+    f.cv.wait(lk, [&f] { return f.signaled(); });
+  }
+
+  void wake(ParkFlag& f) override {
+    {
+      std::lock_guard<std::mutex> lk(f.m);
+      f.state.store(ParkFlag::kSignal, std::memory_order_release);
+    }
+    f.cv.notify_one();
+  }
+
+  bool wake_under_lock() const override { return true; }
+};
+
+// -------------------------------------------------------------- spin-park
+//
+// Bounded spin, then kernel park on the flag itself. The waiter
+// advertises the transition to kParked with a CAS, so the waker only pays
+// the wake syscall when someone actually sleeps in the kernel.
+class SpinParkWaiter : public TokenWaiter {
+ public:
+  void park(ParkFlag& f) override {
+    // Bounded spin, in two phases. A burst of cpu_relax polls catches
+    // multi-core grants within nanoseconds — but it is skipped entirely
+    // on a single core, where no other thread can set the flag while we
+    // occupy the CPU and a PAUSE burst is pure handoff latency. Then up
+    // to spin_budget single yields: each yield is a scheduler rotation
+    // that lets the token chain advance, so a small live set grants us
+    // within a handful of yields and the futex round trip is skipped.
+    // The budget is zero in a crowd, where spinning only delays our own
+    // park and steals cycles from the holder.
+    static const int relax_iters =
+        std::thread::hardware_concurrency() > 1 ? 64 : 0;
+    for (int i = 0; i < relax_iters; ++i) {
+      if (f.signaled()) return;
+      cpu_relax();
+    }
+    const int yields = f.spin_budget.load(std::memory_order_relaxed);
+    for (int i = 0; i < yields; ++i) {
+      if (f.signaled()) return;
+      std::this_thread::yield();
+    }
+#if defined(__linux__)
+    std::uint32_t expected = ParkFlag::kNoSignal;
+    if (!f.state.compare_exchange_strong(expected, ParkFlag::kParked,
+                                         std::memory_order_acq_rel)) {
+      return;  // the permit arrived during the spin phase
+    }
+    while (f.state.load(std::memory_order_acquire) != ParkFlag::kSignal) {
+      futex_wait(&f.state, ParkFlag::kParked);
+    }
+#else
+    // Portable fallback: park on the slot cv after the spin phase.
+    std::unique_lock<std::mutex> lk(f.m);
+    f.cv.wait(lk, [&f] { return f.signaled(); });
+#endif
+  }
+
+  void wake(ParkFlag& f) override {
+#if defined(__linux__)
+    const std::uint32_t prev =
+        f.state.exchange(ParkFlag::kSignal, std::memory_order_acq_rel);
+    if (prev == ParkFlag::kParked) futex_wake_one(&f.state);
+#else
+    {
+      std::lock_guard<std::mutex> lk(f.m);
+      f.state.store(ParkFlag::kSignal, std::memory_order_release);
+    }
+    f.cv.notify_one();
+#endif
+  }
+
+};
+
+// ------------------------------------------------------------------- spin
+//
+// Never blocks in the kernel: the waker is a single store with no wake
+// syscall, so the waiter must stay runnable — it escalates from cpu_relax
+// to doubling batches of sched yields (letting a co-scheduled granter
+// run) but never sleeps, which would add wakeup latency to every grant.
+class SpinWaiter : public TokenWaiter {
+ public:
+  void park(ParkFlag& f) override {
+    // One yield per failed poll: the flag must be re-checked after every
+    // scheduler rotation, or a granted thread sits out whole rotations
+    // while the other spinners burn them.
+    unsigned round = 0;
+    while (!f.signaled()) {
+      ++round;
+      if (round <= 4) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void wake(ParkFlag& f) override {
+    f.state.store(ParkFlag::kSignal, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TokenWaiter> make_token_waiter(WaitStrategy strategy) {
+  switch (strategy) {
+    case WaitStrategy::kCondvar:
+      return std::make_unique<CondvarWaiter>();
+    case WaitStrategy::kSpinPark:
+      return std::make_unique<SpinParkWaiter>();
+    case WaitStrategy::kSpin:
+      return std::make_unique<SpinWaiter>();
+  }
+  throw ProtocolError("unknown WaitStrategy value");
+}
+
+}  // namespace mpcn

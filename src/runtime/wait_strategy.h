@@ -1,0 +1,151 @@
+// Wait strategies: HOW a lock-step thread waits for the step token.
+//
+// The deterministic adversary (step_controller.h) decides WHO runs next;
+// that decision is a pure function of the seeded RNG and the parked-set
+// evolution, both protected by the controller mutex. The mechanism that
+// puts the losers to sleep and wakes the winner is pure overhead — it can
+// be swapped freely without touching the grant schedule, which is why all
+// strategies produce byte-identical seeded grant traces.
+//
+//   kCondvar  — park on a per-thread condition variable. The portable
+//     baseline; every handoff costs a mutex round trip plus a cv
+//     wait/notify (typically four futex syscalls on Linux).
+//   kSpinPark — bounded spin with cpu-relax/yield backoff, then park on a
+//     per-thread futex-style 32-bit flag. The waker skips the wake
+//     syscall entirely while the waiter is still spinning; a parked
+//     waiter costs one FUTEX_WAIT + one FUTEX_WAKE. The fast default for
+//     seeded grids.
+//   kSpin     — never park: spin with escalating yields. Cheapest handoff
+//     when runnable threads <= cores (no kernel sleep at all); wasteful
+//     for wide grids on small machines.
+//
+// Selection: ExecutionOptions::wait, the Experiment builder's
+// wait_strategy()/wait_strategies() axis, or the MPCN_WAIT_STRATEGY
+// environment variable (the process-wide default, used by the CI matrix).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mpcn {
+
+enum class SchedulerMode { kFree, kLockstep };
+
+enum class WaitStrategy { kCondvar, kSpinPark, kSpin };
+
+const char* to_string(WaitStrategy w);
+WaitStrategy wait_strategy_from_string(const std::string& s);
+
+// Process-wide default: MPCN_WAIT_STRATEGY if set (evaluated once, fails
+// loudly on unknown names), else kCondvar.
+WaitStrategy default_wait_strategy();
+
+// One CPU-relax instruction (PAUSE/YIELD) — calms the pipeline inside
+// spin loops without giving up the time slice.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Exponential yield-backoff for protocol-level spin loops. Escalates from
+// cpu_relax through a doubling number of sched yields to short sleeps, so
+// a loser of a long race stops competing for the core (ROADMAP: free-mode
+// step counts explode on few-core machines because spin reads count as
+// steps). Constructed from a SchedulerMode it is a no-op under lock-step,
+// where the controller already serializes every spin read and sleeping
+// would only slow the deterministic schedule down.
+class YieldBackoff {
+ public:
+  YieldBackoff() = default;
+  explicit YieldBackoff(SchedulerMode mode)
+      : active_(mode == SchedulerMode::kFree) {}
+
+  void pause() {
+    if (!active_) return;
+    ++round_;
+    if (round_ <= kRelaxRounds) {
+      cpu_relax();
+      return;
+    }
+    const unsigned over = round_ - kRelaxRounds;
+    if (over <= kYieldDoublings) {
+      for (unsigned i = 0; i < (1u << over); ++i) std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(sleep_slice(over - kYieldDoublings));
+  }
+
+  void reset() { round_ = 0; }
+
+ private:
+  static constexpr unsigned kRelaxRounds = 4;
+  static constexpr unsigned kYieldDoublings = 5;  // 2..64 yields
+
+  static std::chrono::microseconds sleep_slice(unsigned over) {
+    const unsigned exp = over < 8 ? over : 8;
+    return std::chrono::microseconds(1u << exp);  // 2us .. 256us
+  }
+
+  bool active_ = true;
+  unsigned round_ = 0;
+};
+
+// Per-thread parking slot. `state` is the wakeup permit (kNoSignal ->
+// kSignal); the mutex/cv pair is used only by the condvar strategy and the
+// non-Linux spin-park fallback. All state *writes* happen under the
+// controller mutex, so strategies only need to solve the lost-wakeup
+// problem between one parker and one waker.
+struct ParkFlag {
+  static constexpr std::uint32_t kNoSignal = 0;
+  static constexpr std::uint32_t kSignal = 1;
+  static constexpr std::uint32_t kParked = 2;  // spin-park: waiter in kernel
+
+  std::atomic<std::uint32_t> state{kNoSignal};
+  // Controller hint: how many sched yields the spin phase may burn before
+  // parking in the kernel. Set from the live-thread count at arm time —
+  // small live sets resolve grants within a few scheduler rotations, so
+  // staying runnable beats the futex sleep/wake round trip; in a crowd
+  // the wait is long and spinning only steals cycles from the holder.
+  std::atomic<int> spin_budget{0};
+  std::mutex m;
+  std::condition_variable cv;
+
+  void arm() { state.store(kNoSignal, std::memory_order_relaxed); }
+  bool signaled() const {
+    return state.load(std::memory_order_acquire) == kSignal;
+  }
+};
+
+// The pluggable token-handoff mechanism (see file comment). park() is
+// called WITHOUT the controller mutex and returns once the slot has been
+// signaled (spurious returns are harmless: the controller re-checks its
+// predicate under the mutex); wake() is called by the granting thread
+// with the controller mutex held and must make a concurrent or future
+// park() return.
+class TokenWaiter {
+ public:
+  virtual ~TokenWaiter() = default;
+  virtual void park(ParkFlag& f) = 0;
+  virtual void wake(ParkFlag& f) = 0;
+  // True if wake() must be delivered while the controller mutex is still
+  // held. The condvar baseline keeps the seed scheduler's notify-under-
+  // lock discipline (its historical cost profile, hurry-up-and-wait
+  // included) so BENCH_* trajectories stay comparable across the
+  // refactor; the spin strategies deliver after unlock, so a woken
+  // thread never stalls on the waker's mutex.
+  virtual bool wake_under_lock() const { return false; }
+};
+
+std::unique_ptr<TokenWaiter> make_token_waiter(WaitStrategy strategy);
+
+}  // namespace mpcn

@@ -154,6 +154,23 @@ SimulatedAlgorithm snapshot_renaming_algorithm(int n, int t) {
   return a;
 }
 
+SimulatedAlgorithm step_churn_algorithm(int n, int rounds) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, 0, 1};
+  a.model.validate();
+  if (rounds < 0) throw ProtocolError("step_churn_algorithm needs rounds >= 0");
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([rounds](SimContext& sc) {
+      sc.write(sc.input());
+      for (int r = 0; r < rounds; ++r) {
+        sc.write(Value(r));
+      }
+      sc.decide(sc.input());
+    });
+  }
+  return a;
+}
+
 SimulatedAlgorithm identity_colored_algorithm(int n, int t, int x) {
   SimulatedAlgorithm a;
   a.model = ModelSpec{n, t, x};

@@ -51,4 +51,13 @@ SimulatedAlgorithm snapshot_renaming_algorithm(int n, int t = -1);
 // engine's claim machinery in isolation from renaming's retry logic.
 SimulatedAlgorithm identity_colored_algorithm(int n, int t, int x);
 
+// Pure step-token churn for ASM(n, 0, 1): every process writes its input,
+// performs `rounds` further register writes (one model step each) and
+// decides its input. No waiting, no agreement — each cell's step count is
+// exactly n * (rounds + 1) for rounds + 1 writes per process, so
+// wall time divided by steps is the scheduler's per-handoff cost. The
+// workload behind bench_scheduler_handoff and the wait-strategy grid of
+// bench_simulation_overhead.
+SimulatedAlgorithm step_churn_algorithm(int n, int rounds);
+
 }  // namespace mpcn

@@ -104,6 +104,19 @@ TEST(Execution, StopsWhenAllCorrectDecided) {
   EXPECT_LT(out.steps, 10'000u);
 }
 
+TEST(Execution, WallLimitFlagsTimeout) {
+  // Free mode, huge step budget: only the wall clock can end the run.
+  // Pins the event-driven monitor (no 20 ms polling loop to fall back on).
+  ExecutionOptions o = free_mode(100'000'000'000ull);
+  o.wall_limit = std::chrono::milliseconds(80);
+  std::vector<Program> p{[](ProcessContext& ctx) {
+    for (;;) ctx.yield();
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, o);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_FALSE(out.decisions[0].has_value());
+}
+
 // --- crash plans ---
 
 TEST(CrashPlan, FixedCrashStopsProcessAtExactStep) {

@@ -1,0 +1,287 @@
+// Tests: src/runtime/wait_strategy — the pluggable token-handoff layer.
+//
+// The load-bearing contract: the wait strategy changes HOW lock-step
+// threads wait, never WHO runs next. Same seed => byte-identical grant
+// traces, identical step counts and identical decisions under condvar,
+// spin_park and spin — for direct runs and for full engine simulations
+// (whose fork/leave traffic exercises every controller path). Plus the
+// liveness contract: request_stop() must wake threads parked under any
+// strategy, and the SET_LIST pruning must visit exactly the subsequence
+// of the global combination order that contains the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/errors.h"
+#include "src/core/pipeline.h"
+#include "src/core/x_safe_agreement.h"
+#include "src/experiment/experiment.h"
+#include "src/runtime/execution.h"
+#include "src/tasks/algorithms.h"
+
+namespace mpcn {
+namespace {
+
+const WaitStrategy kAllStrategies[] = {
+    WaitStrategy::kCondvar, WaitStrategy::kSpinPark, WaitStrategy::kSpin};
+
+ExecutionOptions lockstep(std::uint64_t seed, WaitStrategy wait,
+                          std::uint64_t limit = 2'000'000) {
+  ExecutionOptions o;
+  o.mode = SchedulerMode::kLockstep;
+  o.seed = seed;
+  o.wait = wait;
+  o.step_limit = limit;
+  return o;
+}
+
+std::vector<Value> int_inputs(int n, int base = 0) {
+  std::vector<Value> v;
+  for (int i = 0; i < n; ++i) v.push_back(Value(base + i));
+  return v;
+}
+
+// Runs `programs` with grant tracing on and returns the full grant trace
+// plus an outcome fingerprint.
+struct TracedRun {
+  std::string trace;
+  std::string outcome;
+  std::uint64_t steps = 0;
+};
+
+TracedRun traced_run(std::vector<Program> programs, std::vector<Value> inputs,
+                     const ExecutionOptions& options) {
+  Execution e(std::move(programs), std::move(inputs), options);
+  e.controller().enable_grant_trace();
+  Outcome out = e.run();
+  TracedRun r;
+  for (const ThreadId& t : e.controller().grant_trace()) {
+    r.trace += t.to_string() + ";";
+  }
+  for (const auto& d : out.decisions) {
+    r.outcome += (d ? d->to_string() : "-") + "|";
+  }
+  for (bool c : out.crashed) r.outcome += c ? 'X' : '.';
+  r.steps = out.steps;
+  return r;
+}
+
+// ------------------------------------------------- strategy equivalence
+
+class StrategyDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyDeterminism, DirectRunsShareOneGrantTrace) {
+  const std::uint64_t seed = GetParam();
+  const SimulatedAlgorithm a = trivial_kset_algorithm(5, 2);
+  TracedRun baseline;
+  bool first = true;
+  for (WaitStrategy w : kAllStrategies) {
+    ExecutionOptions o = lockstep(seed, w);
+    o.crashes = CrashPlan::hazard(0.003, 2, seed + 17);
+    TracedRun r =
+        traced_run(make_direct_programs(a), int_inputs(5, 30), o);
+    EXPECT_FALSE(r.trace.empty());
+    if (first) {
+      baseline = r;
+      first = false;
+      continue;
+    }
+    // Byte-identical grant traces: the strategy may only change HOW
+    // threads wait, never the seeded schedule.
+    EXPECT_EQ(r.trace, baseline.trace) << to_string(w);
+    EXPECT_EQ(r.outcome, baseline.outcome) << to_string(w);
+    EXPECT_EQ(r.steps, baseline.steps) << to_string(w);
+  }
+}
+
+TEST_P(StrategyDeterminism, EngineSimulationsShareOneGrantTrace) {
+  const std::uint64_t seed = GetParam();
+  const SimulatedAlgorithm a = trivial_kset_algorithm(4, 1);
+  TracedRun baseline;
+  bool first = true;
+  for (WaitStrategy w : kAllStrategies) {
+    ExecutionOptions o = lockstep(seed, w);
+    o.crashes = CrashPlan::hazard(0.002, 3, seed * 3 + 5);
+    SimulationPlan plan = make_simulation(a, ModelSpec{4, 3, 2});
+    TracedRun r =
+        traced_run(std::move(plan.programs), int_inputs(4, 50), o);
+    if (first) {
+      baseline = r;
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(r.trace, baseline.trace) << to_string(w);
+    EXPECT_EQ(r.outcome, baseline.outcome) << to_string(w);
+    EXPECT_EQ(r.steps, baseline.steps) << to_string(w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyDeterminism,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ------------------------------------------------------ stop liveness
+
+class StrategyStop : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyStop, RequestStopWakesParkedThreads) {
+  // Threads churn acquire/release; request_stop() arrives from outside
+  // the schedule and must unpark every waiter under every strategy. Run
+  // several rounds to catch threads in all wait phases (spinning, parked
+  // in the kernel, mid-grant).
+  const WaitStrategy w = kAllStrategies[GetParam()];
+  for (int round = 0; round < 8; ++round) {
+    const int n = 4;
+    LockstepController c(round + 1, /*step_limit=*/100'000'000, w);
+    for (int i = 0; i < n; ++i) c.enter(ThreadId{i, 0});
+    std::atomic<int> finished{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&c, &finished, i] {
+        const ThreadId tid{i, 0};
+        while (c.acquire(tid)) c.release(tid);
+        c.leave(tid);
+        finished.fetch_add(1);
+      });
+    }
+    // Let the token circulate a bit, then pull the plug.
+    while (c.steps() < 50) std::this_thread::yield();
+    c.request_stop();
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(finished.load(), n) << to_string(w) << " round " << round;
+    EXPECT_TRUE(c.stop_requested());
+    EXPECT_FALSE(c.timed_out());
+  }
+}
+
+TEST_P(StrategyStop, StepLimitUnparksEveryone) {
+  const WaitStrategy w = kAllStrategies[GetParam()];
+  std::vector<Program> p;
+  for (int i = 0; i < 3; ++i) {
+    p.push_back([](ProcessContext& ctx) {
+      for (;;) ctx.yield();
+    });
+  }
+  Outcome out =
+      run_execution(std::move(p), int_inputs(3), lockstep(7, w, 500));
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_EQ(out.decided_count(), 0);
+}
+
+TEST_P(StrategyStop, WallLimitUnparksEveryone) {
+  // The wall-clock monitor (execution.cc) is event-driven: it sleeps
+  // until the deadline, then must request_stop() and still wake threads
+  // parked under any strategy.
+  const WaitStrategy w = kAllStrategies[GetParam()];
+  ExecutionOptions o = lockstep(5, w, /*limit=*/100'000'000);
+  o.wall_limit = std::chrono::milliseconds(100);
+  std::vector<Program> p;
+  for (int i = 0; i < 3; ++i) {
+    p.push_back([](ProcessContext& ctx) {
+      for (;;) ctx.yield();
+    });
+  }
+  Outcome out = run_execution(std::move(p), int_inputs(3), o);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_EQ(out.decided_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyStop, ::testing::Range(0, 3));
+
+// ------------------------------------------------- experiment threading
+
+TEST(WaitStrategyAxis, ExpandsInnermostAndRecords) {
+  Experiment e = Experiment::of(trivial_kset_algorithm(3, 1))
+                     .label("axis")
+                     .direct()
+                     .inputs(int_inputs(3))
+                     .seeds(1, 2)
+                     .wait_strategies({WaitStrategy::kCondvar,
+                                       WaitStrategy::kSpinPark,
+                                       WaitStrategy::kSpin});
+  const std::vector<ExperimentCell> cells = e.cells();
+  ASSERT_EQ(cells.size(), 6u);  // 2 seeds x 3 strategies, strategy innermost
+  EXPECT_EQ(cells[0].options.wait, WaitStrategy::kCondvar);
+  EXPECT_EQ(cells[1].options.wait, WaitStrategy::kSpinPark);
+  EXPECT_EQ(cells[2].options.wait, WaitStrategy::kSpin);
+  EXPECT_EQ(cells[0].options.seed, 1u);
+  EXPECT_EQ(cells[3].options.seed, 2u);
+
+  const RunRecord rec = run_cell(cells[1]);
+  EXPECT_EQ(rec.wait, WaitStrategy::kSpinPark);
+  EXPECT_TRUE(rec.ok()) << rec.error;
+
+  // The wait_strategy field round-trips through Report JSON.
+  const Json j = rec.to_json();
+  EXPECT_EQ(j.at("wait_strategy").as_string(), "spin_park");
+  const RunRecord back = RunRecord::from_json(Json::parse(j.dump()));
+  EXPECT_EQ(back.wait, WaitStrategy::kSpinPark);
+  EXPECT_EQ(back.to_json().dump(), j.dump());
+}
+
+TEST(WaitStrategyAxis, SameSeedCellsAgreeAcrossStrategies) {
+  // A strategy axis over one seed: all cells must report identical
+  // decisions and step counts (the determinism contract, through the
+  // whole Experiment pipeline).
+  Report rep = Experiment::of(trivial_kset_algorithm(4, 1))
+                   .label("axis-agree")
+                   .direct()
+                   .inputs(int_inputs(4, 10))
+                   .seed(11)
+                   .wait_strategies({WaitStrategy::kCondvar,
+                                     WaitStrategy::kSpinPark,
+                                     WaitStrategy::kSpin})
+                   .run_all();
+  ASSERT_EQ(rep.records.size(), 3u);
+  for (const RunRecord& r : rep.records) {
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.decisions, rep.records[0].decisions);
+    EXPECT_EQ(r.steps, rep.records[0].steps);
+  }
+}
+
+TEST(WaitStrategyNames, RoundTripAndFailLoudly) {
+  for (WaitStrategy w : kAllStrategies) {
+    EXPECT_EQ(wait_strategy_from_string(to_string(w)), w);
+  }
+  EXPECT_THROW(wait_strategy_from_string("bogus"), ProtocolError);
+}
+
+// ------------------------------------------------- SET_LIST pruning
+
+TEST(MemberCombinationScan, MatchesFilteredGlobalOrder) {
+  for (int n : {3, 5, 7, 9}) {
+    for (int x = 1; x <= n; ++x) {
+      for (int member = 0; member < n; ++member) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " x=" + std::to_string(x) +
+                     " member=" + std::to_string(member));
+        // Reference: walk the full SET_LIST and keep subsets containing
+        // `member` — the scan every owner used to perform.
+        std::vector<std::pair<std::int64_t, std::vector<int>>> expected;
+        for (std::int64_t l = 0; l < binomial(n, x); ++l) {
+          const std::vector<int> subset = unrank_combination(n, x, l);
+          for (int e : subset) {
+            if (e == member) {
+              expected.emplace_back(l, subset);
+              break;
+            }
+          }
+        }
+        EXPECT_EQ(member_combination_scan(n, x, member), expected);
+      }
+    }
+  }
+}
+
+TEST(MemberCombinationScan, CountsMatchTheLazyMaterializationBound) {
+  // |scan(n, x, i)| = C(n-1, x-1): exactly the subsets an owner funnels
+  // through (the x_safe_agreement.h lazy-materialization comment).
+  EXPECT_EQ(member_combination_scan(12, 5, 0).size(),
+            static_cast<std::size_t>(binomial(11, 4)));
+  EXPECT_EQ(member_combination_scan(2, 1, 1).size(), 1u);
+  EXPECT_TRUE(member_combination_scan(4, 2, 7).empty());  // out of range
+}
+
+}  // namespace
+}  // namespace mpcn
