@@ -119,6 +119,52 @@ int main(int argc, char** argv) {
                 wall_condvar / wall_spin_park, grid_ok ? "" : "  [INVALID]");
   }
 
+  // ---- Part 3: payload cost on a seeded lock-step engine grid ---------
+  // Simulated trivial k-set under a seeded schedule: the step sequence is
+  // a pure function of the seed (byte-identical grant traces across Value
+  // representations — the steps column must never move in a perf PR), so
+  // wall-per-step isolates the cost of MOVING the payloads. The afek rows
+  // are the payload-heavy regime: MEM is the register-granular Afek
+  // construction, so every collect copies N cells each holding an n-pair
+  // list plus a width-N view of such lists — the O(n^2)-per-step tax the
+  // COW Value representation removes.
+  constexpr std::uint64_t kPayloadSeedLo = 1, kPayloadSeedHi = 2;
+  std::printf("\n== Payload cost: seeded lock-step engine grid "
+              "(trivial 2-set, seeds %llu..%llu)\n",
+              static_cast<unsigned long long>(kPayloadSeedLo),
+              static_cast<unsigned long long>(kPayloadSeedHi));
+  std::printf("%-14s %-10s %10s %12s %12s\n", "target", "mem", "wall_ms",
+              "steps", "us_per_step");
+  for (const MemKind mem_kind : {MemKind::kPrimitive, MemKind::kAfek}) {
+    for (const ModelSpec& target : {ModelSpec{4, 1, 1}, ModelSpec{6, 1, 1}}) {
+      ExecutionOptions base;
+      base.mode = SchedulerMode::kLockstep;
+      base.step_limit = 10'000'000;
+      Report part =
+          run_batch(Experiment::of(a)
+                        .label("simulation_overhead")
+                        .in(target)
+                        .with_task(std::make_shared<KSetAgreementTask>(2))
+                        .input_pool(int_inputs(4, 10))
+                        .seeds(kPayloadSeedLo, kPayloadSeedHi)
+                        .mem(mem_kind)
+                        .wait_strategy(WaitStrategy::kSpinPark)
+                        .base_options(base)
+                        .cells(),
+                    batch);
+      const double wall = part.total_wall_ms();
+      const std::uint64_t steps = part.total_steps();
+      std::printf("%-14s %-10s %10.1f %12llu %12.2f%s\n",
+                  target.to_string().c_str(), to_string(part.records[0].mem),
+                  wall, static_cast<unsigned long long>(steps),
+                  steps > 0 ? wall * 1000.0 / static_cast<double>(steps) : 0.0,
+                  part.all_ok() ? "" : "  [INVALID]");
+      for (RunRecord& r : part.records) {
+        report.records.push_back(std::move(r));
+      }
+    }
+  }
+
   std::printf("\n%s\n", report.summary().c_str());
   const bool json_ok = maybe_write_report(report, argc, argv);
   return report.all_ok() && json_ok ? 0 : 1;

@@ -64,11 +64,14 @@ void BM_RwLockSnapshot(benchmark::State& state) {
   run_workload(state, Kind::kRwLock);
 }
 
-BENCHMARK(BM_PrimitiveSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+// Widths 16/32 are where the payload representation dominates: an Afek
+// cell carries a width-n view list, so a collect moves O(n^2) payload
+// under deep-copy Values and O(n) refcount bumps under COW Values.
+BENCHMARK(BM_PrimitiveSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AfekSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_AfekSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RwLockSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(BM_RwLockSnapshot)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -16,6 +16,73 @@ int kind_rank(const Value& v) {
 
 }  // namespace
 
+Value::SharedString Value::intern_string(std::string s) {
+  if (s.empty()) {
+    static const SharedString kEmpty = std::make_shared<std::string>();
+    return kEmpty;
+  }
+  return std::make_shared<std::string>(std::move(s));
+}
+
+Value::SharedList Value::intern_list(List l) {
+  if (l.empty()) {
+    static const SharedList kEmpty = std::make_shared<List>();
+    return kEmpty;
+  }
+  return std::make_shared<List>(std::move(l));
+}
+
+Value Value::from_shared(SharedList l) {
+  Value v;
+  v.rep_ = l ? std::move(l) : intern_list(List());
+  return v;
+}
+
+Value::List& Value::detach_list() {
+  SharedList& rep = std::get<SharedList>(rep_);
+  // use_count() == 1 means this Value is the only owner; no other thread
+  // can gain a reference without racing on this Value object itself,
+  // which the contract already forbids. Shared (or static-empty) payloads
+  // are cloned — element copies are refcount bumps.
+  if (rep.use_count() != 1) {
+    rep = std::make_shared<List>(*rep);
+  }
+  // Safe: every payload is created via make_shared<List> (non-const
+  // pointee); constness was added by the handle type only.
+  return const_cast<List&>(*rep);
+}
+
+Value::List Value::take_list() {
+  SharedList rep = std::get<SharedList>(rep_);
+  rep_ = std::monostate{};
+  if (rep.use_count() == 1) {
+    // Sole owner: steal the vector (payload created non-const, see
+    // detach_list). No element is copied.
+    return std::move(const_cast<List&>(*rep));
+  }
+  return *rep;  // shared: clone, each element an O(1) copy
+}
+
+bool Value::operator==(const Value& o) const {
+  if (rep_.index() != o.rep_.index()) return false;
+  switch (rep_.index()) {
+    case 0:  // nil
+      return true;
+    case 1:
+      return std::get<std::int64_t>(rep_) == std::get<std::int64_t>(o.rep_);
+    case 2: {
+      const SharedString& a = std::get<SharedString>(rep_);
+      const SharedString& b = std::get<SharedString>(o.rep_);
+      return a == b || *a == *b;  // pointer fast path, then structural
+    }
+    default: {
+      const SharedList& a = std::get<SharedList>(rep_);
+      const SharedList& b = std::get<SharedList>(o.rep_);
+      return a == b || *a == *b;
+    }
+  }
+}
+
 bool Value::operator<(const Value& o) const {
   const int a = kind_rank(*this);
   const int b = kind_rank(o);
@@ -26,8 +93,14 @@ bool Value::operator<(const Value& o) const {
     case 1:
       return as_int() < o.as_int();
     case 2:
+      if (std::get<SharedString>(rep_) == std::get<SharedString>(o.rep_)) {
+        return false;  // aliases are equal
+      }
       return as_string() < o.as_string();
     default: {
+      if (std::get<SharedList>(rep_) == std::get<SharedList>(o.rep_)) {
+        return false;  // aliases are equal
+      }
       const List& l = as_list();
       const List& r = o.as_list();
       return std::lexicographical_compare(l.begin(), l.end(), r.begin(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/errors.h"
+#include "src/common/ids.h"
 #include "src/core/engine_internal.h"
 #include "src/snapshot/afek_snapshot.h"
 #include "src/snapshot/primitive_snapshot.h"
@@ -125,18 +126,15 @@ class EngineSimContext : public SimContext {
 EngineSimulator::EngineSimulator(std::shared_ptr<EngineShared> shared, int i)
     : shared_(std::move(shared)),
       i_(i),
-      memi_(static_cast<std::size_t>(shared_->n_sim()),
-            {Value::nil(), 0}),
+      // All initial (nil, 0) pairs alias ONE shared payload.
+      memi_pairs_(static_cast<std::size_t>(shared_->n_sim()),
+                  Value::pair(Value::nil(), Value(0))),
+      memi_sn_(static_cast<std::size_t>(shared_->n_sim()), 0),
       snap_sn_(static_cast<std::size_t>(shared_->n_sim()), 0),
       sim_decisions_(static_cast<std::size_t>(shared_->n_sim())) {}
 
 Value EngineSimulator::memi_payload_locked() const {
-  Value::List out;
-  out.reserve(memi_.size());
-  for (const auto& [v, sn] : memi_) {
-    out.push_back(Value::pair(v, Value(sn)));
-  }
-  return Value(std::move(out));
+  return Value(Value::List(memi_pairs_));  // n refcount bumps, one payload
 }
 
 // Figure 2:
@@ -147,8 +145,8 @@ void EngineSimulator::sim_write(ProcessContext& cctx, int j, const Value& v) {
   Value payload;
   {
     std::lock_guard<std::mutex> lk(local_m_);
-    auto& cell = memi_[static_cast<std::size_t>(j)];
-    cell = {v, cell.second + 1};
+    auto& sn = memi_sn_[static_cast<std::size_t>(j)];
+    memi_pairs_[static_cast<std::size_t>(j)] = Value::pair(v, Value(++sn));
     payload = memi_payload_locked();
   }
   shared_->mem->write(cctx, i_, payload);
@@ -180,8 +178,7 @@ std::vector<Value> EngineSimulator::sim_snapshot(ProcessContext& cctx, int j) {
   }
 
   const std::int64_t snapsn = ++snap_sn_[static_cast<std::size_t>(j)];  // (04)
-  const std::string key =
-      "AG/" + std::to_string(j) + "/" + std::to_string(snapsn);
+  const std::string key = format_key("AG/", j, snapsn);
   auto ag = shared_->agreement(key);
   {
     // (05) — one agreement propose at a time per simulator (mutex1), so a
@@ -195,9 +192,8 @@ std::vector<Value> EngineSimulator::sim_snapshot(ProcessContext& cctx, int j) {
     arm_propose_trap(cctx, key);
     ag->propose(cctx, Value(std::move(input)));
   }
-  const Value res = ag->decide(cctx);  // (06)
-  const Value::List& out = res.as_list();
-  return std::vector<Value>(out.begin(), out.end());  // (07)
+  Value res = ag->decide(cctx);  // (06)
+  return res.take_list();  // (07) — steals or bumps, never deep-copies
 }
 
 EngineSimulator::XObjectState& EngineSimulator::xobject(
@@ -279,7 +275,7 @@ void EngineSimulator::child_body(ProcessContext& cctx, int j) {
   if (shared_->algo.static_inputs) {
     agreed = (*shared_->algo.static_inputs)[static_cast<std::size_t>(j)];
   } else {
-    const std::string key = "INPUT/" + std::to_string(j);
+    const std::string key = format_key("INPUT/", j);
     auto ag = shared_->agreement(key);
     {
       enter_propose_section(cctx, key);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/errors.h"
+#include "src/common/ids.h"
 #include "src/core/engine_internal.h"
 #include "src/objects/test_and_set.h"
 
@@ -36,7 +37,7 @@ void EngineSimulator::run_colored(ProcessContext& ctx) {
       // half-done propose that would block other simulators.
       pause_proposes(ctx);
       auto ts = shared_->world->get_or_create<TestAndSet>(
-          "TSDECIDE/" + std::to_string(cand->first),
+          format_key("TSDECIDE/", cand->first),
           [] { return std::make_shared<TestAndSet>(); });
       if (ts->test_and_set(ctx)) {
         ctx.decide(Value::pair(Value(cand->first), cand->second));
@@ -97,7 +98,8 @@ SimulationPlan make_colored_simulation(const SimulatedAlgorithm& algorithm,
     }
   }
 
-  auto shared = std::make_shared<internal::EngineShared>(algorithm, target);
+  auto shared = std::make_shared<internal::EngineShared>(algorithm, target,
+                                                         options.mem);
   SimulationPlan plan;
   plan.world = shared->world;
   plan.programs.reserve(static_cast<std::size_t>(target.n));

@@ -31,6 +31,9 @@ namespace mpcn {
 
 struct ColoredSimulationOptions {
   bool check_legality = true;
+  // Substrate backing MEM[1..N] (the simulators' snapshot object), so
+  // colored cells honor the Experiment mem axis like every other mode.
+  MemKind mem = MemKind::kPrimitive;
 };
 
 SimulationPlan make_colored_simulation(

@@ -118,10 +118,14 @@ class EngineSimulator {
   std::shared_ptr<EngineShared> shared_;
   const int i_;  // simulator id
 
-  // mem_i: local copy of the simulated memory — (value, seq) per p_j.
-  // Guarded by local_m_ (touched by all of q_i's threads).
+  // mem_i: local copy of the simulated memory, kept directly as the list
+  // of (value, seq) pair Values that MEM[i] publishes. A sim_write
+  // replaces one pair and freezes a copy of the list as the payload —
+  // O(1) per untouched entry (refcount bumps) instead of rebuilding every
+  // pair. Guarded by local_m_ (touched by all of q_i's threads).
   mutable std::mutex local_m_;
-  std::vector<std::pair<Value, std::int64_t>> memi_;
+  Value::List memi_pairs_;
+  std::vector<std::int64_t> memi_sn_;
 
   // snap_sn_[j]: sequence of simulated snapshots of p_j; only the thread
   // simulating p_j touches entry j.

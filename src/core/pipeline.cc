@@ -5,6 +5,7 @@
 #include "src/common/errors.h"
 #include "src/experiment/experiment.h"
 #include "src/objects/x_consensus.h"
+#include "src/snapshot/afek_snapshot.h"
 #include "src/snapshot/primitive_snapshot.h"
 
 namespace mpcn {
@@ -13,15 +14,18 @@ namespace {
 
 // Shared objects of a native run of A in its own model.
 struct DirectWorld {
-  explicit DirectWorld(const SimulatedAlgorithm& a)
-      : mem(std::make_shared<PrimitiveSnapshot>(a.n(),
-                                                /*check_ownership=*/true)) {
+  DirectWorld(const SimulatedAlgorithm& a, MemKind mem_kind)
+      : mem(mem_kind == MemKind::kAfek
+                ? std::shared_ptr<SnapshotObject>(std::make_shared<AfekSnapshot>(
+                      a.n(), /*check_ownership=*/true))
+                : std::make_shared<PrimitiveSnapshot>(
+                      a.n(), /*check_ownership=*/true)) {
     for (const XConsDecl& d : a.xcons) {
       std::set<ProcessId> ports(d.ports.begin(), d.ports.end());
       xcons.emplace(d.name, std::make_shared<XConsensus>(std::move(ports)));
     }
   }
-  std::shared_ptr<PrimitiveSnapshot> mem;
+  std::shared_ptr<SnapshotObject> mem;
   std::map<std::string, std::shared_ptr<XConsensus>> xcons;
 };
 
@@ -60,10 +64,10 @@ class DirectSimContext : public SimContext {
 
 }  // namespace
 
-std::vector<Program> make_direct_programs(
-    const SimulatedAlgorithm& algorithm) {
+std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm,
+                                          MemKind mem) {
   algorithm.validate();
-  auto world = std::make_shared<DirectWorld>(algorithm);
+  auto world = std::make_shared<DirectWorld>(algorithm, mem);
   const int n = algorithm.n();
   std::vector<Program> programs;
   programs.reserve(static_cast<std::size_t>(n));

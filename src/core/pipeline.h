@@ -24,8 +24,12 @@
 
 namespace mpcn {
 
-// Wrap A's programs as native runtime programs in A's own model.
-std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm);
+// Wrap A's programs as native runtime programs in A's own model. `mem`
+// picks the snapshot substrate backing mem[1..n]: the one-step model
+// primitive (default) or the wait-free Afek construction, so direct
+// cells can ablate the substrate through the Experiment mem axis.
+std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm,
+                                          MemKind mem = MemKind::kPrimitive);
 
 Outcome run_direct(const SimulatedAlgorithm& algorithm,
                    const std::vector<Value>& inputs,

@@ -46,7 +46,7 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
   std::vector<Program> programs;
   switch (cell.mode) {
     case ExecutionMode::kDirect:
-      programs = make_direct_programs(algo);
+      programs = make_direct_programs(algo, cell.mem);
       break;
     case ExecutionMode::kSimulated: {
       SimulationOptions so;
@@ -58,6 +58,7 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
     case ExecutionMode::kColored: {
       ColoredSimulationOptions co;
       co.check_legality = cell.check_legality;
+      co.mem = cell.mem;
       programs = make_colored_simulation(algo, cell.target, co).programs;
       break;
     }

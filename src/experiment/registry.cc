@@ -71,6 +71,24 @@ std::vector<Scenario> build_registry() {
       /*colored=*/false});
 
   reg.push_back(Scenario{
+      "snapshot_churn",
+      "width-swept snapshot churn: 40 write+snapshot rounds per process, "
+      "decide your input (register/snapshot hot-path workload; pair with "
+      "the afek mem backend to ablate the substrate)",
+      [](const ModelSpec& m) {
+        require_rw_source("snapshot_churn", m);
+        if (m.t != 0) {
+          throw ProtocolError(
+              "snapshot_churn is a crash-free workload: source model must "
+              "have t = 0, got " +
+              m.to_string());
+        }
+        return snapshot_churn_algorithm(m.n, 40);
+      },
+      /*make_task=*/nullptr,
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
       "snapshot_renaming",
       "wait-free snapshot-based adaptive (2n-1)-renaming (colored)",
       [](const ModelSpec& m) {

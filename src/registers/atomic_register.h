@@ -5,8 +5,9 @@
 // guard, so in lock-step mode register operations are serialized by the
 // schedule, and in free mode a short internal mutex provides the
 // linearization point (Values are variable-size, so a raw std::atomic is
-// not applicable; the mutex critical section is a handful of instructions
-// and bounded, which keeps operations effectively wait-free in practice).
+// not applicable; since Values are copy-on-write, the critical section is
+// a refcount bump regardless of payload depth — a handful of bounded
+// instructions, which keeps operations effectively wait-free in practice).
 #pragma once
 
 #include <deque>

@@ -9,13 +9,14 @@
 // because entries are created in a fixed initial state.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <typeindex>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/errors.h"
 
@@ -27,19 +28,28 @@ class SharedWorld {
   // if absent. All concurrent creators must pass equivalent factories
   // (guaranteed by construction in the engine: the factory depends only
   // on the key). Throws ProtocolError on a type mismatch.
-  template <typename T>
-  std::shared_ptr<T> get_or_create(const std::string& key,
-                                   const std::function<std::shared_ptr<T>()>& make) {
+  //
+  // `make` is any callable returning std::shared_ptr<T>; lambdas bind
+  // here directly, with no std::function wrapper allocated per call —
+  // this sits on the lazy-creation hot path ("AG/<j>/<snapsn>" lookups,
+  // one per simulated snapshot).
+  template <typename T, typename Factory>
+  std::shared_ptr<T> get_or_create(const std::string& key, Factory&& make) {
+    static_assert(
+        std::is_convertible_v<decltype(std::declval<Factory&>()()),
+                              std::shared_ptr<T>>,
+        "SharedWorld factory must return std::shared_ptr<T>");
     std::lock_guard<std::mutex> lk(m_);
     auto it = objects_.find(key);
     if (it == objects_.end()) {
-      auto obj = make();
+      std::shared_ptr<T> obj = make();
       it = objects_.emplace(key, Entry{std::type_index(typeid(T)), obj}).first;
     } else if (it->second.type != std::type_index(typeid(T))) {
       throw ProtocolError("SharedWorld type mismatch for key " + key);
     }
     return std::static_pointer_cast<T>(it->second.ptr);
   }
+
 
   // Lookup without creation; returns nullptr if absent or wrong type.
   template <typename T>

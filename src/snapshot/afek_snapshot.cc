@@ -7,15 +7,19 @@ namespace mpcn {
 namespace {
 
 // Cell layout: [value, seq, view-list]. The view stored with a write is the
-// scan embedded in that write (empty until the first write).
-Value make_cell(const Value& value, std::int64_t seq,
-                const std::vector<Value>& view) {
-  Value::List v;
-  v.reserve(3);
-  v.push_back(value);
-  v.push_back(Value(seq));
-  v.push_back(Value(Value::List(view.begin(), view.end())));
-  return Value(std::move(v));
+// scan embedded in that write (empty until the first write). `view` is a
+// list Value shared with the scan that produced it: embedding it is a
+// refcount bump, not an O(n) copy.
+Value make_cell(const Value& value, std::int64_t seq, const Value& view) {
+  Value::ListBuilder b(3);
+  b.push_back(value);
+  b.push_back(Value(seq));
+  b.push_back(view);
+  return b.build();
+}
+
+Value initial_view(int width) {
+  return Value(Value::List(static_cast<std::size_t>(width)));
 }
 
 }  // namespace
@@ -23,9 +27,7 @@ Value make_cell(const Value& value, std::int64_t seq,
 AfekSnapshot::AfekSnapshot(int width, bool check_ownership)
     : width_(width),
       check_ownership_(check_ownership),
-      cells_(width, make_cell(Value::nil(), 0,
-                              std::vector<Value>(
-                                  static_cast<std::size_t>(width)))) {}
+      cells_(width, make_cell(Value::nil(), 0, initial_view(width))) {}
 
 AfekSnapshot::Collect AfekSnapshot::collect(ProcessContext& ctx) {
   Collect c;
@@ -42,7 +44,7 @@ AfekSnapshot::Collect AfekSnapshot::collect(ProcessContext& ctx) {
   return c;
 }
 
-std::vector<Value> AfekSnapshot::scan(ProcessContext& ctx) {
+Value AfekSnapshot::scan(ProcessContext& ctx) {
   std::vector<int> moved(static_cast<std::size_t>(width_), 0);
   Collect a = collect(ctx);
   for (;;) {
@@ -53,15 +55,14 @@ std::vector<Value> AfekSnapshot::scan(ProcessContext& ctx) {
           b.seq[static_cast<std::size_t>(j)]) {
         clean = false;
         if (++moved[static_cast<std::size_t>(j)] >= 2) {
-          // j completed a full scan inside our interval; borrow its view.
+          // j completed a full scan inside our interval; borrow its view —
+          // the stored list is returned as-is (a refcount bump).
           borrowed_.fetch_add(1, std::memory_order_relaxed);
-          const Value::List& view =
-              b.view[static_cast<std::size_t>(j)].as_list();
-          return std::vector<Value>(view.begin(), view.end());
+          return b.view[static_cast<std::size_t>(j)];
         }
       }
     }
-    if (clean) return b.value;  // successful double collect
+    if (clean) return Value(std::move(b.value));  // successful double collect
     a = std::move(b);
   }
 }
@@ -73,13 +74,13 @@ void AfekSnapshot::write(ProcessContext& ctx, int index, const Value& v) {
   if (check_ownership_ && index != ctx.pid()) {
     throw ProtocolError("AfekSnapshot entry not owned by writer");
   }
-  const std::vector<Value> view = scan(ctx);
+  const Value view = scan(ctx);
   const Value old = cells_.read(ctx, index);
   cells_.write(ctx, index, make_cell(v, old.at(1).as_int() + 1, view));
 }
 
 std::vector<Value> AfekSnapshot::snapshot(ProcessContext& ctx) {
-  return scan(ctx);
+  return scan(ctx).take_list();
 }
 
 }  // namespace mpcn

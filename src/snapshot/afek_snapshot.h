@@ -45,13 +45,17 @@ class AfekSnapshot : public SnapshotObject {
  private:
   struct Collect {
     std::vector<std::int64_t> seq;
-    std::vector<Value> value;
-    std::vector<Value> view;
+    Value::List value;  // element copies are O(1) under COW Values
+    Value::List view;   // each entry aliases the cell's stored view list
   };
 
   Collect collect(ProcessContext& ctx);
-  // The embedded scan used by both snapshot() and write().
-  std::vector<Value> scan(ProcessContext& ctx);
+  // The embedded scan used by both snapshot() and write(). Returns the
+  // snapshot as a list Value: a clean double collect freezes the second
+  // collect's values; a borrowed scan returns the mover's stored view
+  // with no per-element work (refcount bump). write() embeds this Value
+  // into its cell as-is, so helping never copies payloads.
+  Value scan(ProcessContext& ctx);
 
   const int width_;
   const bool check_ownership_;

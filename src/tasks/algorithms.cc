@@ -171,6 +171,26 @@ SimulatedAlgorithm step_churn_algorithm(int n, int rounds) {
   return a;
 }
 
+SimulatedAlgorithm snapshot_churn_algorithm(int n, int rounds) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, 0, 1};
+  a.model.validate();
+  if (rounds < 1) {
+    throw ProtocolError("snapshot_churn_algorithm needs rounds >= 1");
+  }
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([rounds](SimContext& sc) {
+      sc.write(sc.input());
+      for (int r = 0; r < rounds; ++r) {
+        sc.write(Value(r));
+        (void)sc.snapshot();
+      }
+      sc.decide(sc.input());
+    });
+  }
+  return a;
+}
+
 SimulatedAlgorithm identity_colored_algorithm(int n, int t, int x) {
   SimulatedAlgorithm a;
   a.model = ModelSpec{n, t, x};

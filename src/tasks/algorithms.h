@@ -51,6 +51,15 @@ SimulatedAlgorithm snapshot_renaming_algorithm(int n, int t = -1);
 // engine's claim machinery in isolation from renaming's retry logic.
 SimulatedAlgorithm identity_colored_algorithm(int n, int t, int x);
 
+// Width-swept snapshot churn for ASM(n, 0, 1): every process writes its
+// input, then performs `rounds` write+snapshot round trips and decides
+// its input. Run with the Afek mem backend this is the register/snapshot
+// hot path in its purest form (each write embeds a scan, each scan is a
+// double collect over width-n cells carrying width-n views) — the
+// workload behind the snapshot_churn registry scenario and the COW-Value
+// payload cost model.
+SimulatedAlgorithm snapshot_churn_algorithm(int n, int rounds);
+
 // Pure step-token churn for ASM(n, 0, 1): every process writes its input,
 // performs `rounds` further register writes (one model step each) and
 // decides its input. No waiting, no agreement — each cell's step count is

@@ -309,7 +309,8 @@ TEST(Registry, CoversTheAlgorithmZoo) {
   const std::vector<std::string> names = scenario_names();
   for (const char* expected :
        {"trivial_kset", "group_kset", "single_object_consensus",
-        "snapshot_renaming", "identity_colored"}) {
+        "step_churn", "snapshot_churn", "snapshot_renaming",
+        "identity_colored"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -335,6 +336,36 @@ TEST(Registry, NamedExperimentRunsWithCanonicalTask) {
   EXPECT_EQ(rec.scenario, "trivial_kset");
   EXPECT_EQ(rec.task, "2-set-agreement");
   EXPECT_TRUE(rec.ok()) << rec.to_json().dump(2);
+}
+
+TEST(Registry, SnapshotChurnSweepsWidthsAcrossMemBackends) {
+  // The register/snapshot hot-path workload: a width-swept Afek (and
+  // primitive, for the ablation baseline) write+scan grid through the
+  // Experiment API. Direct cells honor the mem axis, so the same named
+  // scenario drives the substrate the benches ablate.
+  Report rep;
+  for (int n : {2, 3}) {
+    Report part = Experiment::named("snapshot_churn", ModelSpec{n, 0, 1})
+                      .direct()
+                      .input_pool(int_inputs(4, 100))
+                      .mems({MemKind::kPrimitive, MemKind::kAfek})
+                      .base_options(lockstep(11, 3'000'000))
+                      .run_all();
+    for (RunRecord& r : part.records) rep.records.push_back(std::move(r));
+  }
+  ASSERT_EQ(rep.records.size(), 4u);
+  for (const RunRecord& r : rep.records) {
+    EXPECT_TRUE(r.ok()) << r.to_json().dump(2);
+    // Every process decides its own input: churn, not agreement.
+    for (std::size_t j = 0; j < r.decisions.size(); ++j) {
+      ASSERT_TRUE(r.decisions[j].has_value());
+      EXPECT_EQ(*r.decisions[j], r.inputs[j]);
+    }
+  }
+  // The Afek substrate pays register-granularity steps for its atomicity:
+  // strictly more steps than the one-step primitive at equal width.
+  EXPECT_GT(rep.records[1].steps, rep.records[0].steps);
+  EXPECT_GT(rep.records[3].steps, rep.records[2].steps);
 }
 
 TEST(Registry, RwSourceScenariosRejectXGreaterThanOne) {

@@ -266,6 +266,49 @@ TEST(AfekSnapshot, WaitFreeBoundOnCollects) {
   EXPECT_LE(snap->total_collects(), ops * (kWriters + 1 + 2));
 }
 
+// --- counter pinning: the COW payload representation must not change the
+// --- algorithm's step structure ---
+
+// A writer running alone never observes movement: every scan is a clean
+// double collect. Exact counter arithmetic pins that write = scan + read
+// + write and snapshot = scan, with no extra collects hidden anywhere.
+TEST(AfekSnapshot, CountersPinnedSequential) {
+  const int kWrites = 6, kScans = 5;
+  auto snap = std::make_shared<AfekSnapshot>(4, /*check_ownership=*/false);
+  std::vector<Program> p{[snap](ProcessContext& ctx) {
+    for (int r = 0; r < kWrites; ++r) snap->write(ctx, 0, Value(r));
+    for (int r = 0; r < kScans; ++r) (void)snap->snapshot(ctx);
+    ctx.decide(Value(0));
+  }};
+  Outcome out = run_execution(std::move(p), {Value(0)}, lockstep(1));
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_EQ(snap->total_collects(), 2u * (kWrites + kScans));
+  EXPECT_EQ(snap->borrowed_scans(), 0u);
+}
+
+// Under a seeded lock-step schedule the whole interleaving is a pure
+// function of the seed, so the collect/borrow counters are exact. These
+// values were measured against the pre-COW deep-copy Value as well: the
+// representation change moved zero collects and zero borrows.
+TEST(AfekSnapshot, CountersPinnedSeededLockstep) {
+  auto snap = std::make_shared<AfekSnapshot>(3, /*check_ownership=*/false);
+  std::vector<Program> p;
+  for (int w = 0; w < 2; ++w) {
+    p.push_back([snap, w](ProcessContext& ctx) {
+      for (int r = 0; r < 25; ++r) snap->write(ctx, w, Value(r));
+      ctx.decide(Value(0));
+    });
+  }
+  p.push_back([snap](ProcessContext& ctx) {
+    for (int r = 0; r < 10; ++r) (void)snap->snapshot(ctx);
+    ctx.decide(Value(0));
+  });
+  Outcome out = run_execution(std::move(p), int_inputs(3), lockstep(9));
+  ASSERT_FALSE(out.timed_out);
+  EXPECT_EQ(snap->total_collects(), 146u);
+  EXPECT_EQ(snap->borrowed_scans(), 5u);
+}
+
 // --- free mode stress (real concurrency) ---
 
 TEST(AfekSnapshot, FreeModeStress) {

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerate the perf-trajectory JSONs at the repo root.
+#
+#   tools/run_benches.sh [BUILD_DIR]            # full run (the committed files)
+#   SMOKE=1 tools/run_benches.sh [BUILD_DIR]    # 1-iteration CI smoke: same
+#                                               # JSON paths, minimal runtime
+#
+# Writes, at the repo root:
+#   BENCH_snapshot_ablation.json    (Google Benchmark --benchmark_format=json)
+#   BENCH_simulation_overhead.json  (Report JSON via the bench's --json flag)
+#   BENCH_scheduler_handoff.json    (Report JSON via the bench's --json flag)
+#
+# Keep these regenerated-and-committed when a PR claims a hot-path win, so
+# the trajectory across commits stays machine-readable.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+SMOKE="${SMOKE:-0}"
+
+if [[ ! -x "$BUILD/bench_simulation_overhead" ]]; then
+  echo "error: benches not built in $BUILD (cmake --build $BUILD -j)" >&2
+  exit 1
+fi
+
+# --- bench_snapshot_ablation: Google Benchmark JSON on stdout -----------
+if [[ -x "$BUILD/bench_snapshot_ablation" ]]; then
+  GBENCH_ARGS=(--benchmark_format=json)
+  if [[ "$SMOKE" == "1" ]]; then
+    # One cheap case, minimal measuring time: keeps the JSON path green
+    # without burning CI minutes.
+    GBENCH_ARGS+=("--benchmark_filter=BM_AfekSnapshot/4\$"
+                  --benchmark_min_time=0.01)
+  fi
+  echo "== bench_snapshot_ablation ${GBENCH_ARGS[*]}"
+  "$BUILD/bench_snapshot_ablation" "${GBENCH_ARGS[@]}" \
+      > "$ROOT/BENCH_snapshot_ablation.json"
+elif [[ "$SMOKE" == "1" ]]; then
+  # The CI smoke exists to prove this path works end to end; a missing
+  # binary must fail, not silently validate the stale committed JSON.
+  echo "error: bench_snapshot_ablation not built (Google Benchmark absent)" >&2
+  exit 1
+else
+  echo "warning: bench_snapshot_ablation not built (Google Benchmark absent);" \
+       "skipping BENCH_snapshot_ablation.json" >&2
+fi
+
+# --- table drivers: Report JSON via --json ------------------------------
+if [[ "$SMOKE" != "1" ]]; then
+  echo "== bench_simulation_overhead"
+  "$BUILD/bench_simulation_overhead" \
+      --json "$ROOT/BENCH_simulation_overhead.json"
+  echo "== bench_scheduler_handoff"
+  "$BUILD/bench_scheduler_handoff" \
+      --json "$ROOT/BENCH_scheduler_handoff.json"
+fi
+
+echo "wrote $(ls "$ROOT"/BENCH_*.json | xargs -n1 basename | tr '\n' ' ')"
