@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/errors.h"
+#include "src/common/parse.h"
 #include "src/common/value.h"
 #include "src/experiment/record.h"
 #include "src/runtime/execution.h"
@@ -17,18 +19,17 @@ namespace mpcn::benchutil {
 // strategy the bench's lock-step cells run under (wait_strategy.h).
 // Defaults to the process-wide default (MPCN_WAIT_STRATEGY or condvar),
 // so BENCH_*.json trajectories are labeled and comparable across both CLI
-// and environment selection.
+// and environment selection. Flag syntax comes from src/common/parse.h —
+// the same scanner the mpcn CLI uses — so benches and CLI cannot drift.
 inline WaitStrategy wait_arg(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--wait" && i + 1 < argc) {
-      return wait_strategy_from_string(argv[i + 1]);
-    }
-    if (arg.rfind("--wait=", 0) == 0) {
-      return wait_strategy_from_string(arg.substr(7));
-    }
+  if (!flag_present(argc, argv, "wait")) return default_wait_strategy();
+  const auto v = flag_value(argc, argv, "wait");
+  if (!v) {
+    // "--wait" with no usable value (end of argv, or a '-'-leading
+    // token): guessing a strategy would mislabel the bench trajectory.
+    throw ProtocolError("--wait needs a strategy name");
   }
-  return default_wait_strategy();
+  return wait_strategy_from_string(*v);
 }
 
 inline ExecutionOptions free_mode(std::uint64_t step_limit = 50'000'000) {
@@ -62,15 +63,9 @@ inline std::vector<Value> int_inputs(int n, int base = 0) {
 // are machine-readable. Returns the empty string when --json is absent.
 inline std::string json_out_path(int argc, char** argv,
                                  const std::string& title) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      if (i + 1 < argc && argv[i + 1][0] != '-') return argv[i + 1];
-      return "BENCH_" + title + ".json";
-    }
-    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
-  }
-  return "";
+  if (!flag_present(argc, argv, "json")) return "";
+  if (const auto v = flag_value(argc, argv, "json")) return *v;
+  return "BENCH_" + title + ".json";
 }
 
 // Write `report` where --json asked for it (no-op without --json).

@@ -1,0 +1,112 @@
+#include "src/cli/args.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+#include "src/common/parse.h"
+
+namespace mpcn {
+
+namespace {
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+std::string known_flags(const std::vector<std::string>& value_flags,
+                        const std::vector<std::string>& bool_flags) {
+  std::string out;
+  for (const std::string& f : value_flags) out += " --" + f + " <v>";
+  for (const std::string& f : bool_flags) out += " --" + f;
+  return out.empty() ? " (none)" : out;
+}
+
+}  // namespace
+
+Args::Args(int argc, char** argv, int start,
+           std::vector<std::string> value_flags,
+           std::vector<std::string> bool_flags)
+    : value_flags_(std::move(value_flags)),
+      bool_flags_(std::move(bool_flags)) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (contains(bool_flags_, name)) {
+      if (inline_value) {
+        throw ProtocolError("flag --" + name + " takes no value");
+      }
+      bools_.push_back(name);
+      continue;
+    }
+    if (!contains(value_flags_, name)) {
+      throw ProtocolError("unknown flag --" + name + "; valid flags:" +
+                          known_flags(value_flags_, bool_flags_));
+    }
+    // Repeated value flags are contradictory invocations, not a
+    // precedence puzzle — fail loudly like unknown flags do.
+    for (const auto& [existing, v] : values_) {
+      if (existing == name) {
+        throw ProtocolError("flag --" + name + " given more than once");
+      }
+    }
+    if (inline_value) {
+      values_.emplace_back(name, *inline_value);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw ProtocolError("flag --" + name + " needs a value");
+    }
+    values_.emplace_back(name, argv[++i]);
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  if (contains(bools_, name)) return true;
+  for (const auto& [k, v] : values_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Args::value(const std::string& name) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Args::value_or(const std::string& name,
+                           const std::string& fallback) const {
+  const auto v = value(name);
+  return v ? *v : fallback;
+}
+
+std::string Args::require(const std::string& name) const {
+  const auto v = value(name);
+  if (!v) throw ProtocolError("missing required flag --" + name);
+  return *v;
+}
+
+ModelSpec parse_model_spec(const std::string& s) {
+  const std::vector<std::string> parts = split(s, ',');
+  if (parts.size() != 3) {
+    throw ProtocolError("model spec '" + s + "' must be \"n,t,x\"");
+  }
+  ModelSpec m{static_cast<int>(parse_i64(parts[0])),
+              static_cast<int>(parse_i64(parts[1])),
+              static_cast<int>(parse_i64(parts[2]))};
+  m.validate();
+  return m;
+}
+
+}  // namespace mpcn

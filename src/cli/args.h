@@ -1,0 +1,48 @@
+// Declarative argv parsing for the mpcn CLI subcommands.
+//
+// Each subcommand declares its value-taking flags and boolean flags up
+// front; everything else is a positional. Unknown flags are rejected
+// with a message listing the valid ones — the CLI is a string-addressable
+// surface and must fail loudly (same contract as the scenario registry).
+// Syntax: "--name value" and "--name=value" both work; bool flags take
+// no value.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/models.h"
+
+namespace mpcn {
+
+class Args {
+ public:
+  // Parse argv[start..argc). Throws ProtocolError on unknown flags, on a
+  // value flag without a value, or on a bool flag given one.
+  Args(int argc, char** argv, int start,
+       std::vector<std::string> value_flags,
+       std::vector<std::string> bool_flags);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const;                  // either kind
+  std::optional<std::string> value(const std::string& name) const;
+  std::string value_or(const std::string& name,
+                       const std::string& fallback) const;
+  // Throws ProtocolError when the flag is absent.
+  std::string require(const std::string& name) const;
+
+ private:
+  std::vector<std::string> value_flags_;
+  std::vector<std::string> bool_flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> bools_;
+};
+
+// "n,t,x" -> ModelSpec (validated). Throws ProtocolError with the
+// offending spec in the message.
+ModelSpec parse_model_spec(const std::string& s);
+
+}  // namespace mpcn

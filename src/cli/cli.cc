@@ -1,0 +1,291 @@
+#include "src/cli/cli.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cli/args.h"
+#include "src/common/errors.h"
+#include "src/common/parse.h"
+#include "src/dist/shard.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/diff.h"
+#include "src/experiment/experiment.h"
+#include "src/experiment/record.h"
+#include "src/experiment/registry.h"
+
+namespace mpcn {
+
+namespace {
+
+const char kUsage[] =
+    "usage: mpcn <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  list                         enumerate registered scenarios\n"
+    "  run <scenario> --in n,t,x    expand and run an experiment grid\n"
+    "  worker [--max-cells N]       JSON-lines worker on stdin/stdout\n"
+    "  diff <a.json> <b.json>       compare two reports (exit 1 on\n"
+    "                               regressions)\n"
+    "\n"
+    "run flags:\n"
+    "  --in n,t,x        target model (required)\n"
+    "  --source n,t,x    source model the algorithm is built for\n"
+    "                    (default: --in)\n"
+    "  --mode M          direct|simulated|chain|colored (default: direct\n"
+    "                    when source == target, else simulated)\n"
+    "  --seeds SPEC      \"5\", \"1..8\" or \"1,3,9\" (default: 1)\n"
+    "  --mem LIST        primitive,afek (default: primitive)\n"
+    "  --wait LIST       condvar,spin_park,spin (default: process-wide)\n"
+    "  --scheduler M     lockstep|free (default: lockstep)\n"
+    "  --steps N         per-cell step limit\n"
+    "  --wall MS         per-cell wall-clock limit in ms\n"
+    "  --crash-p P       per-step hazard crash probability (seeded per\n"
+    "                    cell; budget = --crash-max or the model's t)\n"
+    "  --crash-max M     hazard crash budget\n"
+    "  --inputs LIST     integer input pool, e.g. \"0,1,2\" (default:\n"
+    "                    process index)\n"
+    "  --shards K        distribute over K worker subprocesses\n"
+    "                    (default: 0 = in-process)\n"
+    "  --threads N       in-process pool size (0 = hardware)\n"
+    "  --json PATH       write the report JSON (\"-\" = stdout)\n"
+    "  --no-timing       exclude wall-clock fields from the JSON so\n"
+    "                    reports compare byte-identical\n"
+    "  --fork-workers    shard via fork() instead of spawning\n"
+    "                    `mpcn worker` subprocesses\n"
+    "  --title S         report title (default: scenario name)\n";
+
+Report load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ProtocolError("cannot open report file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Report::from_json(Json::parse(text.str()));
+}
+
+// Absolute path of the running binary, for self-spawning `mpcn worker`
+// subprocesses regardless of the caller's cwd/PATH.
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0 ? argv0 : "mpcn";
+}
+
+int cmd_list(int argc, char** argv) {
+  Args args(argc, argv, 2, {}, {});
+  (void)args;
+  for (const Scenario& s : scenario_registry()) {
+    std::printf("%-24s %s%s\n", s.name.c_str(), s.description.c_str(),
+                s.colored ? " [colored]" : "");
+  }
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  Args args(argc, argv, 2, {"max-cells"}, {});
+  WorkerOptions options;
+  if (const auto v = args.value("max-cells")) {
+    options.max_cells = static_cast<int>(parse_u64(*v));
+  }
+  FdLineIO io(STDIN_FILENO, STDOUT_FILENO);
+  run_worker_loop(io, options);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {"in", "source", "mode", "seeds", "mem", "wait", "scheduler",
+             "steps", "wall", "crash-p", "crash-max", "inputs", "shards",
+             "threads", "json", "title"},
+            {"no-timing", "fork-workers"});
+  if (args.positional().size() != 1) {
+    throw ProtocolError("run needs exactly one scenario name (see `mpcn "
+                        "list`)");
+  }
+  const std::string scenario = args.positional()[0];
+  const ModelSpec target = parse_model_spec(args.require("in"));
+  const ModelSpec source = args.has("source")
+                               ? parse_model_spec(args.require("source"))
+                               : target;
+
+  Experiment e = Experiment::named(scenario, source);
+
+  const std::string mode =
+      args.value_or("mode", source == target ? "direct" : "simulated");
+  if (mode == "direct") {
+    if (!(source == target)) {
+      throw ProtocolError(
+          "--mode direct runs in the source model; --in and --source "
+          "must match (or drop --source)");
+    }
+    e.direct();
+  } else if (mode == "simulated") {
+    e.in(target);
+  } else if (mode == "chain") {
+    e.through_chain_to(target);
+  } else if (mode == "colored") {
+    e.colored_in(target);
+  } else {
+    throw ProtocolError("unknown --mode '" + mode +
+                        "' (want direct|simulated|chain|colored)");
+  }
+
+  e.seed_list(parse_u64_axis(args.value_or("seeds", "1")));
+
+  std::vector<MemKind> mems;
+  for (const std::string& name :
+       parse_name_axis(args.value_or("mem", "primitive"))) {
+    mems.push_back(mem_kind_from_string(name));
+  }
+  e.mems(std::move(mems));
+
+  if (args.has("wait")) {
+    std::vector<WaitStrategy> waits;
+    for (const std::string& name : parse_name_axis(args.require("wait"))) {
+      waits.push_back(wait_strategy_from_string(name));
+    }
+    e.wait_strategies(std::move(waits));
+  }
+
+  e.scheduler(
+      scheduler_mode_from_string(args.value_or("scheduler", "lockstep")));
+  if (args.has("steps")) e.step_limit(parse_u64(args.require("steps")));
+  if (args.has("wall")) {
+    e.wall_limit(std::chrono::milliseconds(parse_u64(args.require("wall"))));
+  }
+
+  if (args.has("crash-p")) {
+    const double p = parse_double(args.require("crash-p"));
+    const int max_crashes = args.has("crash-max")
+                                ? static_cast<int>(parse_u64(
+                                      args.require("crash-max")))
+                                : -1;
+    e.crashes([p, max_crashes](const ModelSpec& m, std::uint64_t seed) {
+      return CrashPlan::hazard(p, max_crashes < 0 ? m.t : max_crashes, seed);
+    });
+  } else if (args.has("crash-max")) {
+    throw ProtocolError("--crash-max needs --crash-p");
+  }
+
+  if (args.has("inputs")) {
+    // A plain comma split, not parse_name_axis: input pools legitimately
+    // repeat values (all processes proposing 7 is the classic agreement
+    // case).
+    std::vector<Value> pool;
+    for (const std::string& tok : split(args.require("inputs"), ',')) {
+      pool.push_back(Value(parse_i64(tok)));
+    }
+    e.input_pool(std::move(pool));
+  } else {
+    // Process index as input: well-defined for every hop width of a
+    // chain, and a valid proposal for every registered task.
+    e.inputs_fn([](const ModelSpec& m) {
+      std::vector<Value> in;
+      in.reserve(static_cast<std::size_t>(m.n));
+      for (int i = 0; i < m.n; ++i) in.push_back(Value(i));
+      return in;
+    });
+  }
+
+  BatchOptions batch;
+  batch.title = args.value_or("title", scenario);
+  if (args.has("threads")) {
+    batch.threads = static_cast<int>(parse_u64(args.require("threads")));
+  }
+  if (args.has("shards")) {
+    batch.shards = static_cast<int>(parse_u64(args.require("shards")));
+  }
+  if (batch.shards > 0 && !args.has("fork-workers")) {
+    batch.worker_argv = {self_exe_path(argv[0]), "worker"};
+  }
+
+  const Report report = e.run_all(batch);
+
+  const bool include_timing = !args.has("no-timing");
+  const std::string json_path = args.value_or("json", "");
+  FILE* summary_out = stdout;
+  if (json_path == "-") {
+    std::printf("%s\n", report.to_json(include_timing).dump(2).c_str());
+    summary_out = stderr;
+  } else if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw ProtocolError("cannot open '" + json_path + "'");
+    out << report.to_json(include_timing).dump(2) << "\n";
+    out.flush();
+    if (!out.good()) throw ProtocolError("write to '" + json_path +
+                                         "' failed");
+  }
+  std::fprintf(summary_out, "%s\n", report.summary().c_str());
+
+  int errored = 0;
+  for (const RunRecord& r : report.records) {
+    if (!r.error.empty()) ++errored;
+  }
+  if (errored > 0) {
+    std::fprintf(stderr, "%d cell(s) failed with errors\n", errored);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  Args args(argc, argv, 2, {"json"}, {});
+  if (args.positional().size() != 2) {
+    throw ProtocolError("diff needs exactly two report files");
+  }
+  const Report a = load_report(args.positional()[0]);
+  const Report b = load_report(args.positional()[1]);
+  const ReportDiff diff = diff_reports(a, b);
+
+  FILE* summary_out = stdout;
+  if (const auto path = args.value("json")) {
+    if (*path == "-") {
+      std::printf("%s\n", diff.to_json().dump(2).c_str());
+      summary_out = stderr;  // keep stdout machine-readable
+    } else {
+      std::ofstream out(*path);
+      if (!out) throw ProtocolError("cannot open '" + *path + "'");
+      out << diff.to_json().dump(2) << "\n";
+      out.flush();
+      if (!out.good()) {
+        throw ProtocolError("write to '" + *path + "' failed");
+      }
+    }
+  }
+  std::fprintf(summary_out, "A: %s\nB: %s\n%s\n", a.summary().c_str(),
+               b.summary().c_str(), diff.summary().c_str());
+  return diff.has_regressions() ? 1 : 0;
+}
+
+}  // namespace
+
+int cli_main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list(argc, argv);
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "worker") return cmd_worker(argc, argv);
+    if (command == "diff") return cmd_diff(argc, argv);
+    if (command == "help" || command == "--help" || command == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+                 kUsage);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpcn %s: %s\n", command.c_str(), e.what());
+    return 2;
+  }
+}
+
+}  // namespace mpcn

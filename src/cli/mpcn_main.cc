@@ -1,0 +1,5 @@
+// The mpcn binary: a one-line shell over cli.h so the whole CLI stays
+// inside the library where the test suite can drive it in-process.
+#include "src/cli/cli.h"
+
+int main(int argc, char** argv) { return mpcn::cli_main(argc, argv); }

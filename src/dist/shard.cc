@@ -1,0 +1,415 @@
+#include "src/dist/shard.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "src/common/errors.h"
+#include "src/experiment/batch_runner.h"
+
+namespace mpcn {
+
+// --------------------------------------------------------------- worker
+
+void run_worker_loop(LineIO& io, const WorkerOptions& options) {
+  if (!io.write_line(hello_line())) return;
+  int cells_received = 0;
+  std::string line;
+  while (io.read_line(line)) {
+    WireMessage msg;
+    try {
+      msg = parse_wire_line(line);
+    } catch (const WireError& e) {
+      // Bad framing is the sender's bug; answer with a diagnostic and
+      // keep serving — one garbage line must not take the worker down.
+      if (!io.write_line(error_line(e.what()))) return;
+      continue;
+    }
+    switch (msg.type) {
+      case WireMessage::Type::kShutdown:
+        return;
+      case WireMessage::Type::kCell: {
+        ++cells_received;
+        if (options.max_cells > 0 && cells_received >= options.max_cells) {
+          return;  // injected crash: die with the cell unanswered
+        }
+        const CellSpec& spec = *msg.spec;
+        RunRecord rec;
+        try {
+          rec = run_cell(spec.to_cell());
+        } catch (const std::exception& e) {
+          // to_cell() failures (unknown scenario, invalid model): the
+          // spec's identity fields still label the error record.
+          rec = spec.error_record(e.what());
+        }
+        if (!io.write_line(result_line(msg.id, rec))) return;
+        break;
+      }
+      case WireMessage::Type::kHello:
+      case WireMessage::Type::kResult:
+      case WireMessage::Type::kError:
+        break;  // tolerated, meaningless towards a worker
+    }
+  }
+}
+
+// ---------------------------------------------------------- coordinator
+
+namespace {
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int fd = -1;  // our end of the socketpair
+  std::string inbuf;
+  bool alive = false;
+  bool busy = false;
+  std::size_t outstanding = 0;  // cell id, valid when busy
+  std::chrono::steady_clock::time_point sent_at{};
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// Reap `pid`: give it `grace` to exit on its own, then SIGKILL.
+void reap(pid_t pid, std::chrono::milliseconds grace) {
+  if (pid <= 0) return;
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r != 0) return;  // reaped (or ECHILD)
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    ::usleep(2000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+}
+
+// `sibling_fds`: coordinator ends of previously spawned workers, closed
+// in the child so no worker holds another worker's pipe open — otherwise
+// a worker would never see EOF when the coordinator dies.
+WorkerProc spawn_worker(const ShardOptions& options, int index,
+                        const std::vector<int>& sibling_fds) {
+  int sv[2];
+#ifdef SOCK_CLOEXEC
+  const int type = SOCK_STREAM | SOCK_CLOEXEC;
+#else
+  const int type = SOCK_STREAM;
+#endif
+  if (::socketpair(AF_UNIX, type, 0, sv) != 0) {
+    throw std::runtime_error(std::string("shard: socketpair failed: ") +
+                             std::strerror(errno));
+  }
+  const int quota =
+      index < static_cast<int>(options.worker_max_cells.size())
+          ? options.worker_max_cells[static_cast<std::size_t>(index)]
+          : 0;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error(std::string("shard: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    for (int fd : sibling_fds) ::close(fd);
+    if (!options.worker_argv.empty()) {
+      ::dup2(sv[1], 0);
+      ::dup2(sv[1], 1);
+      if (sv[1] > 2) ::close(sv[1]);
+      std::vector<std::string> args = options.worker_argv;
+      if (quota > 0) {
+        args.push_back("--max-cells");
+        args.push_back(std::to_string(quota));
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execvp(argv[0], argv.data());
+      ::_exit(127);  // exec failed: the coordinator sees instant EOF
+    }
+    // Fork mode: serve straight from the forked image. _exit (not exit)
+    // so the child never runs the parent's atexit/stream flushing.
+    FdLineIO io(sv[1], sv[1]);
+    WorkerOptions wo;
+    wo.max_cells = quota;
+    run_worker_loop(io, wo);
+    ::_exit(0);
+  }
+  ::close(sv[1]);
+  WorkerProc w;
+  w.pid = pid;
+  w.fd = sv[0];
+  w.alive = true;
+  return w;
+}
+
+// Whole-line send with MSG_NOSIGNAL so a dead worker yields EPIPE, not
+// a process-killing SIGPIPE.
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Report run_sharded(const std::vector<ExperimentCell>& cells,
+                   const ShardOptions& options) {
+  if (options.shards <= 0) {
+    throw ProtocolError("run_sharded: need shards >= 1 (use BatchRunner "
+                        "with shards = 0 for in-process runs)");
+  }
+  // Serialize every cell up front: fail fast on non-wire-serializable
+  // grids before any process is forked.
+  std::vector<CellSpec> specs;
+  specs.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    CellSpec spec = CellSpec::from_cell(cells[i]);
+    if (spec.cell_index != static_cast<int>(i)) {
+      throw ProtocolError(
+          "run_sharded: cells must be grid-stamped with cell_index == "
+          "position (Experiment::cells() provides this); cell " +
+          std::to_string(i) + " has cell_index " +
+          std::to_string(spec.cell_index));
+    }
+    specs.push_back(std::move(spec));
+  }
+  const std::string title = derive_report_title(cells, options.title);
+  if (cells.empty()) {
+    Report empty;
+    empty.title = title;
+    return empty;
+  }
+
+  const int shard_count =
+      std::min<int>(options.shards, static_cast<int>(cells.size()));
+  std::vector<WorkerProc> workers;
+  workers.reserve(static_cast<std::size_t>(shard_count));
+  std::vector<int> sibling_fds;
+  try {
+    for (int i = 0; i < shard_count; ++i) {
+      workers.push_back(spawn_worker(options, i, sibling_fds));
+      sibling_fds.push_back(workers.back().fd);
+    }
+  } catch (...) {
+    // A failed spawn (fork EAGAIN, ...) must not orphan the workers
+    // already running: kill and reap them before propagating.
+    for (WorkerProc& w : workers) {
+      close_fd(w.fd);
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+      }
+    }
+    throw;
+  }
+
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < cells.size(); ++i) pending.push_back(i);
+  std::vector<bool> seen(cells.size(), false);
+  std::size_t done = 0;
+  Report arrivals;  // records in arrival order; merged into grid order
+
+  auto write_off = [&](WorkerProc& w, const char* why) {
+    if (!w.alive) return;
+    w.alive = false;
+    close_fd(w.fd);
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+    if (w.busy) {
+      w.busy = false;
+      if (!seen[w.outstanding]) pending.push_front(w.outstanding);
+    }
+    std::fprintf(stderr, "[shard] worker written off (%s); requeueing\n",
+                 why);
+  };
+
+  // Returns false on a protocol violation (caller writes the worker off).
+  auto handle_line = [&](WorkerProc& w, const std::string& line) -> bool {
+    WireMessage msg;
+    try {
+      msg = parse_wire_line(line);
+    } catch (const WireError&) {
+      return false;
+    }
+    switch (msg.type) {
+      case WireMessage::Type::kHello:
+        return msg.protocol == kWireProtocolVersion;
+      case WireMessage::Type::kError:
+        std::fprintf(stderr, "[shard] worker reported: %s\n",
+                     msg.message.c_str());
+        return true;
+      case WireMessage::Type::kResult: {
+        if (!msg.record || !w.busy ||
+            msg.id != static_cast<std::int64_t>(w.outstanding) ||
+            msg.record->cell_index != static_cast<int>(w.outstanding)) {
+          return false;  // an answer we never asked for
+        }
+        const std::size_t id = w.outstanding;
+        w.busy = false;
+        arrivals.records.push_back(std::move(*msg.record));
+        if (!seen[id]) {
+          seen[id] = true;
+          ++done;
+        }
+        return true;
+      }
+      case WireMessage::Type::kCell:
+      case WireMessage::Type::kShutdown:
+        return false;  // coordinator-only messages coming back at us
+    }
+    return false;
+  };
+
+  while (done < cells.size()) {
+    // Dispatch: one outstanding cell per live worker; streaming the next
+    // cell only on completion makes the load self-balancing.
+    for (WorkerProc& w : workers) {
+      if (!w.alive || w.busy || pending.empty()) continue;
+      const std::size_t id = pending.front();
+      if (!send_line(w.fd, cell_line(static_cast<std::int64_t>(id),
+                                     specs[id]))) {
+        write_off(w, "write failed");
+        continue;
+      }
+      pending.pop_front();
+      w.busy = true;
+      w.outstanding = id;
+      w.sent_at = std::chrono::steady_clock::now();
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].alive) continue;
+      fds.push_back(pollfd{workers[i].fd, POLLIN, 0});
+      owner.push_back(i);
+    }
+    if (fds.empty()) break;  // no survivors: fall back below
+
+    // The watchdog deadline scales with the cell's own wall_limit: a
+    // worker is presumed hung only once its cell has exceeded the
+    // runtime the user allowed it PLUS the grace period, so cells that
+    // legitimately run for minutes are never killed early.
+    const auto effective_timeout_ms = [&](std::size_t id) {
+      return specs[id].wall_limit_ms + options.watchdog_grace.count();
+    };
+    int timeout_ms = -1;
+    if (options.watchdog_grace.count() > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const WorkerProc& w : workers) {
+        if (!w.alive || !w.busy) continue;
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - w.sent_at)
+                .count();
+        const long long remaining =
+            effective_timeout_ms(w.outstanding) - elapsed;
+        const int r = static_cast<int>(std::max<long long>(remaining, 0)) + 1;
+        timeout_ms = timeout_ms < 0 ? r : std::min(timeout_ms, r);
+      }
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      WorkerProc& w = workers[owner[k]];
+      if (!w.alive) continue;
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::recv(w.fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        write_off(w, "eof");
+        continue;
+      }
+      w.inbuf.append(chunk, static_cast<std::size_t>(n));
+      bool ok = true;
+      std::size_t nl;
+      while (ok && (nl = w.inbuf.find('\n')) != std::string::npos) {
+        const std::string line = w.inbuf.substr(0, nl);
+        w.inbuf.erase(0, nl + 1);
+        ok = handle_line(w, line);
+      }
+      if (!ok) write_off(w, "protocol violation");
+    }
+
+    if (options.watchdog_grace.count() > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (WorkerProc& w : workers) {
+        if (w.alive && w.busy &&
+            now - w.sent_at > std::chrono::milliseconds(
+                                  effective_timeout_ms(w.outstanding))) {
+          write_off(w, "cell timeout");
+        }
+      }
+    }
+  }
+
+  for (WorkerProc& w : workers) {
+    if (!w.alive) continue;
+    send_line(w.fd, shutdown_line());
+    close_fd(w.fd);
+    reap(w.pid, std::chrono::milliseconds(500));
+    w.pid = -1;
+    w.alive = false;
+  }
+
+  // Degraded mode: every worker died with cells unserved. A sharded run
+  // may get slower, but it never loses cells.
+  if (done < cells.size()) {
+    std::fprintf(stderr,
+                 "[shard] %zu cells had no surviving worker; running them "
+                 "in-process\n",
+                 cells.size() - done);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (seen[i]) continue;
+      arrivals.records.push_back(run_cell(cells[i]));
+      seen[i] = true;
+      ++done;
+    }
+  }
+
+  Report merged = Report::merge({arrivals});
+  merged.title = title;
+  if (merged.records.size() != cells.size()) {
+    throw ProtocolError("run_sharded: merged report has " +
+                        std::to_string(merged.records.size()) +
+                        " records for " + std::to_string(cells.size()) +
+                        " cells");
+  }
+  return merged;
+}
+
+}  // namespace mpcn

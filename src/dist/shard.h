@@ -1,0 +1,79 @@
+// The distributed shard runner: a coordinator that fans an experiment
+// grid out over worker SUBPROCESSES speaking the JSON-lines wire
+// protocol (wire.h), and the worker loop those subprocesses run.
+//
+// Topology: one coordinator, K workers, one socketpair per worker. The
+// coordinator streams cells — one outstanding cell per worker, next cell
+// dispatched on result arrival — so load balances itself regardless of
+// per-cell cost. Fault handling:
+//
+//   * a worker that dies (EOF, failed write, exec failure) or violates
+//     the protocol is written off and its outstanding cell is requeued
+//     onto the surviving workers;
+//   * a worker whose outstanding cell overruns its own wall_limit plus
+//     the watchdog grace is SIGKILLed and treated the same;
+//   * if every worker is gone and cells remain, the coordinator runs the
+//     remainder in-process — a sharded run degrades, it never loses
+//     cells.
+//
+// The merged Report is reassembled in grid order via Report::merge
+// (keyed by cell_index, duplicate-tolerant for cells that completed on
+// two workers after a requeue) and is byte-identical (timing excluded)
+// to an in-process BatchRunner run of the same cells, because workers
+// rebuild cells from the scenario registry and execute the very same
+// run_cell() path.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/dist/wire.h"
+#include "src/experiment/experiment.h"
+#include "src/experiment/record.h"
+
+namespace mpcn {
+
+struct WorkerOptions {
+  // Fault injection for coordinator tests and `mpcn worker --max-cells`:
+  // exit WITHOUT replying upon receiving the max_cells-th cell message,
+  // simulating a worker crash with a cell in flight. 0 = serve forever.
+  int max_cells = 0;
+};
+
+// Serve cells over `io` until shutdown or EOF: write hello, then answer
+// every cell line with a result line. Never crashes on bad input:
+// unparsable lines are answered with an error line; a cell that fails to
+// rebuild or execute yields a result whose record captures the error.
+void run_worker_loop(LineIO& io, const WorkerOptions& options = {});
+
+struct ShardOptions {
+  int shards = 2;
+  // argv for worker subprocesses (e.g. {"/path/to/mpcn", "worker"}).
+  // Empty: fork the current process image and run run_worker_loop
+  // directly — no binary needed, used by tests and library callers.
+  std::vector<std::string> worker_argv;
+  // Fault injection, fork mode: worker_max_cells[i] is worker i's
+  // WorkerOptions::max_cells (missing entries = 0). In exec mode the
+  // equivalent is appending "--max-cells N" to worker_argv.
+  std::vector<int> worker_max_cells;
+  // Watchdog: a worker whose outstanding cell has run for the cell's own
+  // wall_limit PLUS this grace is presumed hung, SIGKILLed, and its cell
+  // is requeued. Scaling with wall_limit means a cell the user allowed
+  // to run five minutes is never killed after two. <= 0 disables.
+  std::chrono::milliseconds watchdog_grace{30'000};
+  // Report title ("" = derived from the first labeled cell, as
+  // BatchRunner does — keeping sharded and in-process reports
+  // byte-identical).
+  std::string title;
+};
+
+// Run `cells` across worker subprocesses and merge the results into a
+// grid-ordered Report. Requires wire-serializable cells stamped with
+// cell_index == position (exactly what Experiment::cells() produces);
+// throws ProtocolError otherwise. Per-cell execution errors are captured
+// in the records, not thrown.
+Report run_sharded(const std::vector<ExperimentCell>& cells,
+                   const ShardOptions& options);
+
+}  // namespace mpcn

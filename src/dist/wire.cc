@@ -1,0 +1,294 @@
+#include "src/dist/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "src/common/errors.h"
+#include "src/experiment/registry.h"
+
+namespace mpcn {
+
+Json CellSpec::to_json() const {
+  Json j = Json::object();
+  j.set("scenario", scenario)
+      .set("source", model_spec_to_json(source))
+      .set("mode", to_string(mode))
+      .set("target", model_spec_to_json(target))
+      .set("hop_index", hop_index)
+      .set("cell_index", cell_index)
+      .set("mem", to_string(mem))
+      .set("check_legality", check_legality)
+      .set("use_scenario_task", use_scenario_task)
+      .set("scheduler", to_string(scheduler))
+      .set("wait_strategy", to_string(wait))
+      .set("seed", static_cast<std::int64_t>(seed))
+      .set("step_limit", static_cast<std::int64_t>(step_limit))
+      .set("wall_limit_ms", wall_limit_ms)
+      .set("stop_when_all_correct_decided", stop_when_all_correct_decided)
+      .set("crashes", crashes.to_json());
+  Json in = Json::array();
+  for (const Value& v : inputs) in.push(value_to_json(v));
+  j.set("inputs", std::move(in));
+  return j;
+}
+
+CellSpec CellSpec::from_json(const Json& j) {
+  try {
+    CellSpec spec;
+    spec.scenario = j.at("scenario").as_string();
+    spec.source = model_spec_from_json(j.at("source"));
+    spec.mode = execution_mode_from_string(j.at("mode").as_string());
+    spec.target = model_spec_from_json(j.at("target"));
+    spec.hop_index = static_cast<int>(j.at("hop_index").as_int());
+    spec.cell_index = static_cast<int>(j.at("cell_index").as_int());
+    spec.mem = mem_kind_from_string(j.at("mem").as_string());
+    spec.check_legality = j.at("check_legality").as_bool();
+    spec.use_scenario_task = j.at("use_scenario_task").as_bool();
+    spec.scheduler = scheduler_mode_from_string(j.at("scheduler").as_string());
+    spec.wait = wait_strategy_from_string(j.at("wait_strategy").as_string());
+    spec.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
+    spec.step_limit = static_cast<std::uint64_t>(j.at("step_limit").as_int());
+    spec.wall_limit_ms = j.at("wall_limit_ms").as_int();
+    spec.stop_when_all_correct_decided =
+        j.at("stop_when_all_correct_decided").as_bool();
+    spec.crashes = CrashPlan::from_json(j.at("crashes"));
+    for (const Json& v : j.at("inputs").items()) {
+      spec.inputs.push_back(value_from_json(v));
+    }
+    return spec;
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw WireError(std::string("malformed cell spec: ") + e.what());
+  }
+}
+
+CellSpec CellSpec::from_cell(const ExperimentCell& cell) {
+  if (!cell.algorithm) {
+    throw ProtocolError("wire: ExperimentCell has no algorithm");
+  }
+  if (cell.scenario.empty()) {
+    throw ProtocolError(
+        "wire: only registry-named cells are serializable — build the "
+        "experiment with Experiment::named(scenario, source)");
+  }
+  const Scenario& s = find_scenario(cell.scenario);  // throws when renamed
+  CellSpec spec;
+  spec.scenario = cell.scenario;
+  spec.source = cell.algorithm->model;
+  spec.mode = cell.mode;
+  spec.target = cell.target;
+  spec.hop_index = cell.hop_index;
+  spec.cell_index = cell.cell_index;
+  spec.mem = cell.mem;
+  spec.check_legality = cell.check_legality;
+  spec.scheduler = cell.options.mode;
+  spec.wait = cell.options.wait;
+  spec.seed = cell.options.seed;
+  spec.step_limit = cell.options.step_limit;
+  spec.wall_limit_ms = cell.options.wall_limit.count();
+  spec.stop_when_all_correct_decided =
+      cell.options.stop_when_all_correct_decided;
+  spec.crashes = cell.options.crashes;
+  spec.inputs = cell.inputs;
+  if (cell.task) {
+    if (!s.make_task) {
+      throw ProtocolError("wire: scenario '" + cell.scenario +
+                          "' has no canonical task, so the cell's custom "
+                          "task cannot cross the wire");
+    }
+    // Best-effort identity check (tasks are closures and cannot be
+    // compared structurally): name AND set-consensus number must match
+    // the canonical task. A custom task spoofing both still validates a
+    // different relation on the worker — hence the documented contract
+    // that only Experiment::named grids are wire-safe.
+    const auto canonical = s.make_task(spec.source);
+    if (!canonical || canonical->name() != cell.task->name() ||
+        canonical->set_consensus_number() !=
+            cell.task->set_consensus_number()) {
+      throw ProtocolError(
+          "wire: cell task '" + cell.task->name() +
+          "' is not the canonical task of scenario '" + cell.scenario +
+          "' — custom tasks cannot cross the wire");
+    }
+    spec.use_scenario_task = true;
+  }
+  return spec;
+}
+
+ExperimentCell CellSpec::to_cell() const {
+  const Scenario& s = find_scenario(scenario);
+  SimulatedAlgorithm algo = s.make_algorithm(source);
+  algo.validate();
+  ExperimentCell cell;
+  cell.scenario = scenario;
+  cell.algorithm = std::make_shared<const SimulatedAlgorithm>(std::move(algo));
+  cell.mode = mode;
+  cell.target = target;
+  cell.hop_index = hop_index;
+  cell.cell_index = cell_index;
+  cell.mem = mem;
+  cell.check_legality = check_legality;
+  cell.options.mode = scheduler;
+  cell.options.wait = wait;
+  cell.options.seed = seed;
+  cell.options.step_limit = step_limit;
+  cell.options.wall_limit = std::chrono::milliseconds(wall_limit_ms);
+  cell.options.stop_when_all_correct_decided = stop_when_all_correct_decided;
+  cell.options.crashes = crashes;
+  if (use_scenario_task) {
+    if (!s.make_task) {
+      throw ProtocolError("wire: scenario '" + scenario +
+                          "' has no canonical task to attach");
+    }
+    cell.task = s.make_task(source);
+  }
+  cell.inputs = inputs;
+  return cell;
+}
+
+RunRecord CellSpec::error_record(std::string error) const {
+  RunRecord rec;
+  rec.scenario = scenario;
+  rec.cell_index = cell_index;
+  rec.mode = mode;
+  rec.source = source;
+  rec.target = target;
+  rec.hop_index = hop_index;
+  rec.seed = seed;
+  rec.scheduler = scheduler;
+  rec.wait = wait;
+  rec.mem = mem;
+  rec.inputs = inputs;
+  rec.error = std::move(error);
+  return rec;
+}
+
+// ------------------------------------------------------------- framing
+
+std::string hello_line() {
+  Json j = Json::object();
+  j.set("type", "hello").set("protocol", kWireProtocolVersion);
+  return j.dump();
+}
+
+std::string cell_line(std::int64_t id, const CellSpec& spec) {
+  Json j = Json::object();
+  j.set("type", "cell").set("id", id).set("spec", spec.to_json());
+  return j.dump();
+}
+
+std::string result_line(std::int64_t id, const RunRecord& record) {
+  Json j = Json::object();
+  j.set("type", "result").set("id", id).set("record", record.to_json());
+  return j.dump();
+}
+
+std::string shutdown_line() {
+  Json j = Json::object();
+  j.set("type", "shutdown");
+  return j.dump();
+}
+
+std::string error_line(const std::string& message) {
+  Json j = Json::object();
+  j.set("type", "error").set("message", message);
+  return j.dump();
+}
+
+WireMessage parse_wire_line(const std::string& line) {
+  Json j;
+  try {
+    j = Json::parse(line);
+  } catch (const JsonError& e) {
+    throw WireError(std::string("unparsable wire line: ") + e.what());
+  }
+  if (!j.is_object()) {
+    throw WireError("wire line is not a JSON object: " + line);
+  }
+  const Json* type = j.find("type");
+  if (!type || !type->is_string()) {
+    throw WireError("wire line has no string 'type': " + line);
+  }
+  try {
+    WireMessage msg;
+    const std::string& t = type->as_string();
+    if (t == "hello") {
+      msg.type = WireMessage::Type::kHello;
+      msg.protocol = static_cast<int>(j.at("protocol").as_int());
+    } else if (t == "cell") {
+      msg.type = WireMessage::Type::kCell;
+      msg.id = j.at("id").as_int();
+      msg.spec = CellSpec::from_json(j.at("spec"));
+    } else if (t == "result") {
+      msg.type = WireMessage::Type::kResult;
+      msg.id = j.at("id").as_int();
+      msg.record = RunRecord::from_json(j.at("record"));
+    } else if (t == "shutdown") {
+      msg.type = WireMessage::Type::kShutdown;
+    } else if (t == "error") {
+      msg.type = WireMessage::Type::kError;
+      msg.message = j.at("message").as_string();
+    } else {
+      throw WireError("unknown wire message type '" + t + "'");
+    }
+    return msg;
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw WireError(std::string("malformed wire message: ") + e.what());
+  }
+}
+
+// ----------------------------------------------------------- transport
+
+bool FdLineIO::read_line(std::string& out) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF (or error) with a partial line buffered: the peer died
+    // mid-write; the fragment is unusable.
+    return false;
+  }
+}
+
+bool FdLineIO::write_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::write(write_fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool StringLineIO::read_line(std::string& out) {
+  if (next_ >= input_.size()) return false;
+  out = input_[next_++];
+  return true;
+}
+
+bool StringLineIO::write_line(const std::string& line) {
+  written_.push_back(line);
+  return true;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,161 @@
+// The JSON-lines wire protocol for cross-process experiment shards.
+//
+// A coordinator (shard.h) and its worker subprocesses exchange exactly
+// one JSON object per newline-terminated line:
+//
+//   worker -> coordinator   {"type":"hello","protocol":1}
+//   coordinator -> worker   {"type":"cell","id":<i>,"spec":{...}}
+//   worker -> coordinator   {"type":"result","id":<i>,"record":{...}}
+//   coordinator -> worker   {"type":"shutdown"}
+//   worker -> coordinator   {"type":"error","message":"..."}   (bad line)
+//
+// The framing is safe because Json::dump() escapes control characters —
+// a compact dump never contains a raw newline. Unparsable or truncated
+// lines throw WireError, which both sides turn into a captured per-cell
+// error or a worker-death requeue, never a crash.
+//
+// A CellSpec is the wire form of one ExperimentCell: everything needed
+// to REBUILD the cell in another process. Algorithms and tasks are not
+// serializable (they are closures), so cells cross the wire by registry
+// name — the worker re-runs Scenario::make_algorithm / make_task for the
+// spec's source model, which is deterministic, making the worker's
+// RunRecord byte-identical (timing excluded) to an in-process run of the
+// same cell. Consequently only cells built from named scenarios
+// (Experiment::named) are wire-serializable; from_cell() rejects
+// anonymous algorithms and custom tasks with ProtocolError.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/experiment/experiment.h"
+#include "src/experiment/record.h"
+
+namespace mpcn {
+
+constexpr int kWireProtocolVersion = 1;
+
+// A malformed wire line (garbage, truncated JSON, unknown message type,
+// missing fields). Recoverable by design: the receiver decides whether
+// to answer with an error line or to write the peer off.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// The registry-addressed, self-contained description of one grid cell.
+struct CellSpec {
+  std::string scenario;  // registry name (never empty on the wire)
+  ModelSpec source;      // model the algorithm is built for
+  ExecutionMode mode = ExecutionMode::kDirect;
+  ModelSpec target;
+  int hop_index = -1;
+  int cell_index = -1;
+  MemKind mem = MemKind::kPrimitive;
+  bool check_legality = true;
+  // Attach the scenario's canonical task (custom tasks do not serialize).
+  bool use_scenario_task = false;
+
+  // ExecutionOptions, flattened.
+  SchedulerMode scheduler = SchedulerMode::kLockstep;
+  WaitStrategy wait = WaitStrategy::kCondvar;
+  std::uint64_t seed = 1;
+  std::uint64_t step_limit = 1'000'000;
+  std::int64_t wall_limit_ms = 120'000;
+  bool stop_when_all_correct_decided = true;
+  CrashPlan crashes = CrashPlan::none();
+
+  std::vector<Value> inputs;
+
+  Json to_json() const;
+  static CellSpec from_json(const Json& j);  // throws WireError
+
+  // Wire form of an executable cell. Throws ProtocolError when the cell
+  // is not wire-representable: no algorithm, unnamed scenario, a name
+  // not in the registry, or a task that is not the scenario's canonical
+  // one for the cell's source model.
+  static CellSpec from_cell(const ExperimentCell& cell);
+
+  // Rebuild the executable cell through the scenario registry. Throws
+  // ProtocolError for unknown scenarios or invalid models.
+  ExperimentCell to_cell() const;
+
+  // A RunRecord carrying this spec's identity fields and `error` — what
+  // a worker answers when to_cell()/run fails before run_cell() could
+  // stamp a record itself. The single copy site for spec -> record
+  // identity, so the two cannot drift.
+  RunRecord error_record(std::string error) const;
+};
+
+// ------------------------------------------------------------- framing
+
+struct WireMessage {
+  enum class Type { kHello, kCell, kResult, kShutdown, kError };
+  Type type = Type::kError;
+  int protocol = 0;                 // kHello
+  std::int64_t id = -1;             // kCell / kResult: coordinator cell id
+  std::optional<CellSpec> spec;     // kCell
+  std::optional<RunRecord> record;  // kResult (timing included)
+  std::string message;              // kError
+};
+
+// Encoders return the compact single-line JSON WITHOUT the trailing
+// newline (LineIO appends it).
+std::string hello_line();
+std::string cell_line(std::int64_t id, const CellSpec& spec);
+std::string result_line(std::int64_t id, const RunRecord& record);
+std::string shutdown_line();
+std::string error_line(const std::string& message);
+
+// Parse one line into a message. Throws WireError on anything that is
+// not exactly one well-formed message object.
+WireMessage parse_wire_line(const std::string& line);
+
+// ----------------------------------------------------------- transport
+
+// One line in, one line out. The seam between protocol logic and I/O so
+// the worker loop is testable without processes (StringLineIO) and
+// drivable over any fd pair (FdLineIO: pipes, socketpairs, stdio).
+class LineIO {
+ public:
+  virtual ~LineIO() = default;
+  // False on EOF or error. Strips the trailing '\n'.
+  virtual bool read_line(std::string& out) = 0;
+  // Appends '\n' and writes the whole line. False on error.
+  virtual bool write_line(const std::string& line) = 0;
+};
+
+class FdLineIO : public LineIO {
+ public:
+  FdLineIO(int read_fd, int write_fd)
+      : read_fd_(read_fd), write_fd_(write_fd) {}
+  bool read_line(std::string& out) override;
+  bool write_line(const std::string& line) override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  std::string buffer_;
+};
+
+// In-memory transport for tests: consumes a scripted input, records
+// every written line.
+class StringLineIO : public LineIO {
+ public:
+  explicit StringLineIO(std::vector<std::string> input)
+      : input_(std::move(input)) {}
+  bool read_line(std::string& out) override;
+  bool write_line(const std::string& line) override;
+  const std::vector<std::string>& written() const { return written_; }
+
+ private:
+  std::vector<std::string> input_;
+  std::size_t next_ = 0;
+  std::vector<std::string> written_;
+};
+
+}  // namespace mpcn

@@ -3,24 +3,34 @@
 #include <atomic>
 #include <thread>
 
+#include "src/dist/shard.h"
+
 namespace mpcn {
 
 BatchRunner::BatchRunner(BatchOptions options) : options_(std::move(options)) {}
 
-Report BatchRunner::run(const std::vector<ExperimentCell>& cells) const {
-  Report report;
-  report.title = options_.title;
-  if (report.title.empty()) {
-    // Derive from the first labeled cell so report files keyed by title
-    // do not collide across experiments.
-    for (const ExperimentCell& c : cells) {
-      if (!c.scenario.empty()) {
-        report.title = c.scenario;
-        break;
-      }
-    }
-    if (report.title.empty()) report.title = "batch";
+std::string derive_report_title(const std::vector<ExperimentCell>& cells,
+                                const std::string& requested) {
+  if (!requested.empty()) return requested;
+  // Derive from the first labeled cell so report files keyed by title
+  // do not collide across experiments.
+  for (const ExperimentCell& c : cells) {
+    if (!c.scenario.empty()) return c.scenario;
   }
+  return "batch";
+}
+
+Report BatchRunner::run(const std::vector<ExperimentCell>& cells) const {
+  if (options_.shards > 0) {
+    ShardOptions shard;
+    shard.shards = options_.shards;
+    shard.worker_argv = options_.worker_argv;
+    shard.watchdog_grace = options_.watchdog_grace;
+    shard.title = options_.title;
+    return run_sharded(cells, shard);
+  }
+  Report report;
+  report.title = derive_report_title(cells, options_.title);
   report.records.resize(cells.size());
   if (cells.empty()) return report;
 

@@ -13,8 +13,14 @@
 // Note the two levels of parallelism: the pool runs cells concurrently,
 // and every cell itself spawns one OS thread per simulated/simulating
 // process. threads = 0 picks a pool size from the hardware.
+//
+// Backends: with shards = 0 the grid runs on an in-process thread pool;
+// with shards > 0 it is distributed over worker SUBPROCESSES through the
+// JSON-lines wire protocol (src/dist/shard.h). Both backends produce the
+// same grid-ordered Report, byte-identical with timing excluded.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -28,6 +34,17 @@ struct BatchOptions {
   int threads = 0;
   // Report title ("" = derived from the first cell's scenario).
   std::string title;
+  // > 0: distribute the grid over this many worker subprocesses
+  // (src/dist/shard.h). Requires wire-serializable cells, i.e. a grid
+  // built from Experiment::named.
+  int shards = 0;
+  // Worker argv for the sharded backend (e.g. {"mpcn", "worker"});
+  // empty = fork the current process image, no binary needed.
+  std::vector<std::string> worker_argv;
+  // Sharded backend watchdog: a worker whose cell has overrun its own
+  // wall_limit plus this grace is killed and the cell requeued.
+  // <= 0 disables.
+  std::chrono::milliseconds watchdog_grace{30'000};
 };
 
 class BatchRunner {
@@ -45,5 +62,11 @@ class BatchRunner {
 // Convenience one-shot.
 Report run_batch(const std::vector<ExperimentCell>& cells,
                  BatchOptions options = {});
+
+// The shared title rule for every backend: `requested` when non-empty,
+// else the first labeled cell's scenario, else "batch". In-process and
+// sharded reports must derive titles identically to stay byte-identical.
+std::string derive_report_title(const std::vector<ExperimentCell>& cells,
+                                const std::string& requested);
 
 }  // namespace mpcn

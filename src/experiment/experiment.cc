@@ -20,6 +20,7 @@ namespace {
 RunRecord init_record(const ExperimentCell& cell) {
   RunRecord rec;
   rec.scenario = cell.scenario;
+  rec.cell_index = cell.cell_index;
   rec.mode = cell.mode;
   rec.source = cell.algorithm ? cell.algorithm->model : ModelSpec{};
   rec.target = cell.target;
@@ -193,6 +194,16 @@ Experiment& Experiment::seeds(std::uint64_t lo, std::uint64_t hi) {
   seed_lo_ = lo;
   seed_hi_ = hi;
   seed_set_ = true;
+  seed_list_.clear();  // last seed-axis call wins, like the other axes
+  return *this;
+}
+
+Experiment& Experiment::seed_list(std::vector<std::uint64_t> seeds) {
+  if (seeds.empty()) {
+    throw ProtocolError("Experiment::seed_list: need at least one seed");
+  }
+  seed_list_ = std::move(seeds);
+  seed_set_ = true;
   return *this;
 }
 
@@ -309,9 +320,13 @@ std::vector<ExperimentCell> Experiment::cells() const {
 
   const std::vector<WaitStrategy> waits =
       waits_.empty() ? std::vector<WaitStrategy>{base_.wait} : waits_;
+  std::vector<std::uint64_t> seeds = seed_list_;
+  if (seeds.empty()) {
+    seeds.reserve(static_cast<std::size_t>(seed_hi_ - seed_lo_ + 1));
+    for (std::uint64_t s = seed_lo_; s <= seed_hi_; ++s) seeds.push_back(s);
+  }
   std::vector<ExperimentCell> out;
-  out.reserve(expanded.size() * (seed_hi_ - seed_lo_ + 1) * mems_.size() *
-              waits.size());
+  out.reserve(expanded.size() * seeds.size() * mems_.size() * waits.size());
   for (const ExpandedTarget& t : expanded) {
     const std::vector<Value> cell_inputs = inputs_fn_(t.model);
     if (static_cast<int>(cell_inputs.size()) != t.model.n) {
@@ -319,7 +334,7 @@ std::vector<ExperimentCell> Experiment::cells() const {
                           std::to_string(cell_inputs.size()) +
                           " inputs for model " + t.model.to_string());
     }
-    for (std::uint64_t s = seed_lo_; s <= seed_hi_; ++s) {
+    for (std::uint64_t s : seeds) {
       for (MemKind mem_kind : mems_) {
         for (WaitStrategy wait : waits) {
           ExperimentCell cell;
@@ -328,6 +343,7 @@ std::vector<ExperimentCell> Experiment::cells() const {
           cell.mode = t.mode;
           cell.target = t.model;
           cell.hop_index = t.hop_index;
+          cell.cell_index = static_cast<int>(out.size());
           cell.mem = mem_kind;
           cell.check_legality = check_legality_;
           cell.options = base_;

@@ -59,6 +59,9 @@ struct ExperimentCell {
   ExecutionMode mode = ExecutionMode::kDirect;  // never kChain (expanded)
   ModelSpec target;
   int hop_index = -1;  // >= 0 when this cell is a chain hop
+  // Position in the expanded grid, stamped by cells(). The merge key for
+  // sharded backends (src/dist/) and the record's grid identity.
+  int cell_index = -1;
   MemKind mem = MemKind::kPrimitive;
   bool check_legality = true;
   ExecutionOptions options;  // seed and crash plan already baked in
@@ -112,6 +115,9 @@ class Experiment {
   // ------------------------------------------------------ grid axes
   Experiment& seed(std::uint64_t s);                       // single seed
   Experiment& seeds(std::uint64_t lo, std::uint64_t hi);   // inclusive
+  // Explicit (possibly non-contiguous) seed axis, e.g. from a parsed
+  // "1..4,9" spec (src/common/parse.h). Order-preserving.
+  Experiment& seed_list(std::vector<std::uint64_t> seeds);
   Experiment& mem(MemKind kind);                           // single backend
   Experiment& mems(std::vector<MemKind> kinds);            // backend axis
   // Token-handoff mechanism for lock-step cells (wait_strategy.h). Every
@@ -171,6 +177,7 @@ class Experiment {
   std::uint64_t seed_lo_ = 1;
   std::uint64_t seed_hi_ = 1;
   bool seed_set_ = false;  // seed()/seeds() overrides base_options' seed
+  std::vector<std::uint64_t> seed_list_;  // non-empty: overrides lo..hi
   std::vector<MemKind> mems_{MemKind::kPrimitive};
   // Empty = inherit base_.wait (so base_options() keeps working).
   std::vector<WaitStrategy> waits_;

@@ -1,5 +1,7 @@
 #include "src/experiment/record.h"
 
+#include <algorithm>
+
 #include "src/common/errors.h"
 
 namespace mpcn {
@@ -74,21 +76,17 @@ Value value_from_json(const Json& j) {
   }
 }
 
-namespace {
-
-Json model_to_json(const ModelSpec& m) {
+Json model_spec_to_json(const ModelSpec& m) {
   Json j = Json::object();
   j.set("n", m.n).set("t", m.t).set("x", m.x);
   return j;
 }
 
-ModelSpec model_from_json(const Json& j) {
+ModelSpec model_spec_from_json(const Json& j) {
   return ModelSpec{static_cast<int>(j.at("n").as_int()),
                    static_cast<int>(j.at("t").as_int()),
                    static_cast<int>(j.at("x").as_int())};
 }
-
-}  // namespace
 
 bool RunRecord::ok() const {
   if (!error.empty() || timed_out) return false;
@@ -111,9 +109,10 @@ Outcome RunRecord::outcome() const {
 Json RunRecord::to_json(bool include_timing) const {
   Json j = Json::object();
   j.set("scenario", scenario)
+      .set("cell_index", cell_index)
       .set("mode", to_string(mode))
-      .set("source", model_to_json(source))
-      .set("target", model_to_json(target))
+      .set("source", model_spec_to_json(source))
+      .set("target", model_spec_to_json(target))
       .set("hop_index", hop_index)
       .set("seed", static_cast<std::int64_t>(seed))
       .set("scheduler", to_string(scheduler))
@@ -145,9 +144,13 @@ Json RunRecord::to_json(bool include_timing) const {
 RunRecord RunRecord::from_json(const Json& j) {
   RunRecord r;
   r.scenario = j.at("scenario").as_string();
+  // Reports written before grids were index-stamped lack the field.
+  if (const Json* ci = j.find("cell_index")) {
+    r.cell_index = static_cast<int>(ci->as_int());
+  }
   r.mode = execution_mode_from_string(j.at("mode").as_string());
-  r.source = model_from_json(j.at("source"));
-  r.target = model_from_json(j.at("target"));
+  r.source = model_spec_from_json(j.at("source"));
+  r.target = model_spec_from_json(j.at("target"));
   r.hop_index = static_cast<int>(j.at("hop_index").as_int());
   r.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
   r.scheduler = scheduler_mode_from_string(j.at("scheduler").as_string());
@@ -228,6 +231,43 @@ Report Report::from_json(const Json& j) {
     rep.records.push_back(RunRecord::from_json(r));
   }
   return rep;
+}
+
+Report Report::merge(const std::vector<Report>& parts) {
+  Report out;
+  for (const Report& part : parts) {
+    if (out.title.empty()) out.title = part.title;
+    for (const RunRecord& r : part.records) {
+      if (r.cell_index < 0) {
+        throw ProtocolError(
+            "Report::merge requires grid-stamped records (cell_index >= 0); "
+            "record for scenario '" +
+            r.scenario + "' seed " + std::to_string(r.seed) + " has none");
+      }
+      out.records.push_back(r);
+    }
+  }
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const RunRecord& a, const RunRecord& b) {
+                     return a.cell_index < b.cell_index;
+                   });
+  std::vector<RunRecord> merged;
+  merged.reserve(out.records.size());
+  for (RunRecord& r : out.records) {
+    if (!merged.empty() && merged.back().cell_index == r.cell_index) {
+      // A requeued cell that completed on two workers is deterministic,
+      // so the duplicates must agree on everything but wall time.
+      if (merged.back().to_json(false) != r.to_json(false)) {
+        throw ProtocolError(
+            "Report::merge: conflicting duplicate records for cell " +
+            std::to_string(r.cell_index));
+      }
+      continue;
+    }
+    merged.push_back(std::move(r));
+  }
+  out.records = std::move(merged);
+  return out;
 }
 
 std::string Report::summary() const {

@@ -52,8 +52,18 @@ SchedulerMode scheduler_mode_from_string(const std::string& s);
 Json value_to_json(const Value& v);
 Value value_from_json(const Json& j);
 
+// ModelSpec <-> {"n":..,"t":..,"x":..}. The single encoding shared by
+// RunRecord and the wire protocol (src/dist/wire.h) so the two cannot
+// drift.
+Json model_spec_to_json(const ModelSpec& m);
+ModelSpec model_spec_from_json(const Json& j);
+
 struct RunRecord {
   std::string scenario;  // registry name or user label ("" if unnamed)
+  // Position of this cell in its experiment grid (-1 = not grid-stamped).
+  // Experiment::cells() stamps it; it is the merge key that lets shard
+  // reports (src/dist/) reassemble into the exact in-process grid order.
+  int cell_index = -1;
   ExecutionMode mode = ExecutionMode::kDirect;  // mode this cell executed in
   ModelSpec source;      // the model the algorithm was written for
   ModelSpec target;      // the model the cell actually ran in
@@ -99,6 +109,16 @@ struct Report {
 
   Json to_json(bool include_timing = true) const;
   static Report from_json(const Json& j);
+
+  // Stable grid-order merge of partial reports, keyed by cell_index:
+  // records are sorted by index (ties keep part order), exact duplicates
+  // (timing excluded) are dropped — a cell requeued from a presumed-dead
+  // worker may legitimately complete twice — and conflicting duplicates
+  // throw ProtocolError. Every record must be grid-stamped
+  // (cell_index >= 0). The title comes from the first non-empty part
+  // title. This is how the shard coordinator (src/dist/shard.h)
+  // reassembles worker results into the in-process grid order.
+  static Report merge(const std::vector<Report>& parts);
 
   // One-line human summary ("12/12 cells ok, 48,230 steps").
   std::string summary() const;

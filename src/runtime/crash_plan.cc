@@ -44,6 +44,90 @@ CrashPlan CrashPlan::propose_trap(std::vector<std::string> keys,
   return p;
 }
 
+Json CrashPlan::to_json() const {
+  Json j = Json::object();
+  switch (kind_) {
+    case Kind::kNone:
+      j.set("kind", "none");
+      return j;
+    case Kind::kFixed: {
+      j.set("kind", "fixed");
+      Json points = Json::array();
+      for (const CrashPoint& cp : points_) {
+        Json p = Json::object();
+        p.set("pid", cp.pid)
+            .set("at_step", static_cast<std::int64_t>(cp.at_step));
+        points.push(std::move(p));
+      }
+      j.set("points", std::move(points));
+      return j;
+    }
+    case Kind::kHazard: {
+      j.set("kind", "hazard")
+          .set("probability", probability_)
+          .set("max_crashes", max_crashes_)
+          .set("seed", static_cast<std::int64_t>(seed_));
+      Json eligible = Json::array();
+      for (ProcessId pid : eligible_) eligible.push(Json(pid));
+      j.set("eligible", std::move(eligible));
+      return j;
+    }
+    case Kind::kProposeTrap: {
+      j.set("kind", "propose_trap");
+      Json keys = Json::array();
+      for (const std::string& k : trap_keys_) keys.push(Json(k));
+      j.set("keys", std::move(keys))
+          .set("victims_per_key", victims_per_key_)
+          .set("extra_steps", static_cast<std::int64_t>(trap_extra_steps_))
+          .set("trap_point", trap_point_ == TrapPoint::kProposeEntry
+                                 ? "propose_entry"
+                                 : "owner_elected");
+      return j;
+    }
+  }
+  j.set("kind", "none");
+  return j;
+}
+
+CrashPlan CrashPlan::from_json(const Json& j) {
+  const std::string& kind = j.at("kind").as_string();
+  if (kind == "none") return CrashPlan::none();
+  if (kind == "fixed") {
+    std::vector<CrashPoint> points;
+    for (const Json& p : j.at("points").items()) {
+      points.push_back(
+          CrashPoint{static_cast<ProcessId>(p.at("pid").as_int()),
+                     static_cast<std::uint64_t>(p.at("at_step").as_int())});
+    }
+    return CrashPlan::fixed(std::move(points));
+  }
+  if (kind == "hazard") {
+    std::set<ProcessId> eligible;
+    for (const Json& pid : j.at("eligible").items()) {
+      eligible.insert(static_cast<ProcessId>(pid.as_int()));
+    }
+    return CrashPlan::hazard(
+        j.at("probability").as_double(),
+        static_cast<int>(j.at("max_crashes").as_int()),
+        static_cast<std::uint64_t>(j.at("seed").as_int()),
+        std::move(eligible));
+  }
+  if (kind == "propose_trap") {
+    std::vector<std::string> keys;
+    for (const Json& k : j.at("keys").items()) keys.push_back(k.as_string());
+    const std::string& tp = j.at("trap_point").as_string();
+    if (tp != "propose_entry" && tp != "owner_elected") {
+      throw std::invalid_argument("unknown trap_point: " + tp);
+    }
+    return CrashPlan::propose_trap(
+        std::move(keys), static_cast<int>(j.at("victims_per_key").as_int()),
+        static_cast<std::uint64_t>(j.at("extra_steps").as_int()),
+        tp == "propose_entry" ? TrapPoint::kProposeEntry
+                              : TrapPoint::kOwnerElected);
+  }
+  throw std::invalid_argument("unknown CrashPlan kind: " + kind);
+}
+
 int CrashPlan::budget(int n) const {
   switch (kind_) {
     case Kind::kNone:

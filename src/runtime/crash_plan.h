@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/json.h"
 #include "src/common/rng.h"
 
 namespace mpcn {
@@ -71,6 +72,12 @@ class CrashPlan {
 
   // Total number of processes this plan may crash (the adversary budget).
   int budget(int n) const;
+
+  // Wire form for cross-process experiment shards (src/dist/): every
+  // plan kind round-trips, so a worker subprocess replays exactly the
+  // adversary the coordinator configured.
+  Json to_json() const;
+  static CrashPlan from_json(const Json& j);
 
  private:
   friend class CrashManager;

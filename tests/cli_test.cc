@@ -1,0 +1,198 @@
+// Tests: src/cli — argument parsing and the mpcn subcommands, driven
+// in-process through cli_main (the binary is a one-line shell over it).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cli/args.h"
+#include "src/cli/cli.h"
+#include "src/common/errors.h"
+#include "src/experiment/record.h"
+
+namespace mpcn {
+namespace {
+
+// Run cli_main on a shell-style argv, capturing stdout.
+int run_cli(std::vector<std::string> argv_s, std::string* out = nullptr) {
+  std::vector<char*> argv;
+  argv.reserve(argv_s.size());
+  for (std::string& a : argv_s) argv.push_back(a.data());
+  testing::internal::CaptureStdout();
+  const int code = cli_main(static_cast<int>(argv.size()), argv.data());
+  const std::string captured = testing::internal::GetCapturedStdout();
+  if (out) *out = captured;
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Args, FlagSyntaxAndPositionals) {
+  const char* argv_c[] = {"mpcn", "run",    "snapshot_churn", "--in",
+                          "3,0,1", "--seeds=1..4", "--no-timing"};
+  char** argv = const_cast<char**>(argv_c);
+  Args args(7, argv, 2, {"in", "seeds"}, {"no-timing"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "snapshot_churn");
+  EXPECT_EQ(args.require("in"), "3,0,1");
+  EXPECT_EQ(args.require("seeds"), "1..4");
+  EXPECT_TRUE(args.has("no-timing"));
+  EXPECT_FALSE(args.has("json"));
+  EXPECT_EQ(args.value_or("json", "fallback"), "fallback");
+}
+
+TEST(Args, RejectsMalformedInvocations) {
+  const char* unknown_c[] = {"mpcn", "run", "--bogus", "1"};
+  char** unknown = const_cast<char**>(unknown_c);
+  EXPECT_THROW(Args(4, unknown, 2, {"in"}, {}), ProtocolError);
+
+  const char* dangling_c[] = {"mpcn", "run", "--in"};
+  char** dangling = const_cast<char**>(dangling_c);
+  EXPECT_THROW(Args(3, dangling, 2, {"in"}, {}), ProtocolError);
+
+  const char* boolval_c[] = {"mpcn", "run", "--no-timing=yes"};
+  char** boolval = const_cast<char**>(boolval_c);
+  EXPECT_THROW(Args(3, boolval, 2, {}, {"no-timing"}), ProtocolError);
+
+  const char* missing_c[] = {"mpcn", "run"};
+  char** missing = const_cast<char**>(missing_c);
+  const Args args(2, missing, 2, {"in"}, {});
+  EXPECT_THROW(args.require("in"), ProtocolError);
+
+  // A repeated value flag is a contradictory invocation, not last-wins.
+  const char* twice_c[] = {"mpcn", "run", "--in", "3,0,1", "--in", "4,0,1"};
+  char** twice = const_cast<char**>(twice_c);
+  EXPECT_THROW(Args(6, twice, 2, {"in"}, {}), ProtocolError);
+}
+
+TEST(Args, ParseModelSpec) {
+  const ModelSpec m = parse_model_spec("8,5,3");
+  EXPECT_EQ(m, (ModelSpec{8, 5, 3}));
+  EXPECT_THROW(parse_model_spec("8,5"), ProtocolError);
+  EXPECT_THROW(parse_model_spec("8,5,3,1"), ProtocolError);
+  EXPECT_THROW(parse_model_spec("a,b,c"), ProtocolError);
+  EXPECT_THROW(parse_model_spec("3,9,1"), ProtocolError);  // t >= n
+}
+
+TEST(Cli, UsageAndUnknownCommands) {
+  EXPECT_EQ(run_cli({"mpcn"}), 2);
+  EXPECT_EQ(run_cli({"mpcn", "frobnicate"}), 2);
+  std::string out;
+  EXPECT_EQ(run_cli({"mpcn", "help"}, &out), 0);
+  EXPECT_NE(out.find("run <scenario>"), std::string::npos);
+}
+
+TEST(Cli, ListEnumeratesRegistry) {
+  std::string out;
+  ASSERT_EQ(run_cli({"mpcn", "list"}, &out), 0);
+  EXPECT_NE(out.find("snapshot_churn"), std::string::npos);
+  EXPECT_NE(out.find("trivial_kset"), std::string::npos);
+  EXPECT_NE(out.find("[colored]"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsBadInvocations) {
+  EXPECT_EQ(run_cli({"mpcn", "run"}), 2);  // no scenario
+  EXPECT_EQ(run_cli({"mpcn", "run", "no_such", "--in", "3,0,1"}), 2);
+  EXPECT_EQ(run_cli({"mpcn", "run", "snapshot_churn"}), 2);  // no --in
+  EXPECT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--seeds", "4..1"}),
+            2);
+  EXPECT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--mode", "direct", "--source", "4,0,1"}),
+            2);
+  EXPECT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--crash-max", "1"}),
+            2);  // --crash-max without --crash-p
+}
+
+TEST(Cli, RunShardedMatchesInProcessAndDiffsClean) {
+  TempFile local("cli_test_local.json");
+  TempFile shard("cli_test_shard.json");
+  ASSERT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--seeds", "1..4", "--json", local.path,
+                     "--no-timing"}),
+            0);
+  // Fork-mode workers: the test binary cannot exec itself as `mpcn`.
+  ASSERT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--seeds", "1..4", "--shards", "2", "--fork-workers",
+                     "--json", shard.path, "--no-timing"}),
+            0);
+  const std::string local_text = slurp(local.path);
+  ASSERT_FALSE(local_text.empty());
+  EXPECT_EQ(local_text, slurp(shard.path));
+
+  std::string out;
+  EXPECT_EQ(run_cli({"mpcn", "diff", local.path, shard.path}, &out), 0);
+  EXPECT_NE(out.find("no regressions"), std::string::npos);
+}
+
+TEST(Cli, DiffFlagsInjectedStepRegression) {
+  TempFile a("cli_test_diff_a.json");
+  TempFile b("cli_test_diff_b.json");
+  ASSERT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--seeds", "1..2", "--json", a.path, "--no-timing"}),
+            0);
+  // Inject a step-count regression into a copy of the report.
+  Report doctored = Report::from_json(Json::parse(slurp(a.path)));
+  ASSERT_FALSE(doctored.records.empty());
+  doctored.records[0].steps += 100;
+  {
+    std::ofstream out(b.path);
+    out << doctored.to_json(false).dump(2) << "\n";
+  }
+  std::string out;
+  EXPECT_EQ(run_cli({"mpcn", "diff", a.path, b.path}, &out), 1);
+  EXPECT_NE(out.find("STEP REGRESSION"), std::string::npos);
+  EXPECT_EQ(out.find("no regressions"), std::string::npos);
+}
+
+TEST(Cli, DiffRejectsMissingFiles) {
+  EXPECT_EQ(run_cli({"mpcn", "diff", "no_such_a.json", "no_such_b.json"}),
+            2);
+  EXPECT_EQ(run_cli({"mpcn", "diff", "only_one.json"}), 2);
+}
+
+TEST(Cli, InputPoolsMayRepeatValues) {
+  // All processes proposing the same value is the classic agreement
+  // case; the pool parser must not dedupe.
+  std::string out;
+  ASSERT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--inputs", "7,7,7", "--json", "-", "--no-timing"},
+                    &out),
+            0);
+  const Report rep = Report::from_json(Json::parse(out));
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.records[0].inputs,
+            (std::vector<Value>{Value(7), Value(7), Value(7)}));
+}
+
+TEST(Cli, SeedListAxisAndJsonToStdout) {
+  std::string out;
+  ASSERT_EQ(run_cli({"mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+                     "--seeds", "2,5", "--json", "-", "--no-timing"},
+                    &out),
+            0);
+  const Report rep = Report::from_json(Json::parse(out));
+  ASSERT_EQ(rep.records.size(), 2u);
+  EXPECT_EQ(rep.records[0].seed, 2u);
+  EXPECT_EQ(rep.records[1].seed, 5u);
+  EXPECT_EQ(rep.records[0].cell_index, 0);
+  EXPECT_EQ(rep.records[1].cell_index, 1);
+}
+
+}  // namespace
+}  // namespace mpcn

@@ -392,5 +392,79 @@ TEST(Registry, ColoredScenariosRouteThroughColoredEngine) {
   EXPECT_EQ(names.size(), rec.decisions.size());  // pairwise distinct
 }
 
+TEST(Batch, CellsAreGridStampedInOrder) {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct().inputs(int_inputs(3)).seeds(1, 2).mems(
+      {MemKind::kPrimitive, MemKind::kAfek});
+  const std::vector<ExperimentCell> cells = e.cells();
+  ASSERT_EQ(cells.size(), 4u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].cell_index, static_cast<int>(i));
+  }
+  // The stamp flows into the records and their JSON.
+  const Report report = run_batch(cells);
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    EXPECT_EQ(report.records[i].cell_index, static_cast<int>(i));
+  }
+}
+
+TEST(Experiment, SeedListExpandsNonContiguousAxis) {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct().inputs(int_inputs(3)).seed_list({5, 2, 9});
+  const std::vector<ExperimentCell> cells = e.cells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].options.seed, 5u);
+  EXPECT_EQ(cells[1].options.seed, 2u);
+  EXPECT_EQ(cells[2].options.seed, 9u);
+  EXPECT_THROW(e.seed_list({}), ProtocolError);
+}
+
+TEST(ReportMerge, ReassemblesGridOrderFromShards) {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct().inputs(int_inputs(3)).seeds(1, 4);
+  const Report whole = run_batch(e.cells());
+  ASSERT_EQ(whole.records.size(), 4u);
+
+  // Deal the records across two "shards" out of order.
+  Report odd, even;
+  odd.records = {whole.records[3], whole.records[1]};
+  even.title = whole.title;
+  even.records = {whole.records[2], whole.records[0]};
+  const Report merged = Report::merge({odd, even});
+  // odd.title is empty, so the first non-empty title wins.
+  EXPECT_EQ(merged.title, whole.title);
+  EXPECT_EQ(merged.to_json(false).dump(), whole.to_json(false).dump());
+}
+
+TEST(ReportMerge, DropsExactDuplicatesKeepsGridOrder) {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct().inputs(int_inputs(3)).seeds(1, 2);
+  const Report whole = run_batch(e.cells());
+  RunRecord dup = whole.records[1];
+  dup.wall_ms = whole.records[1].wall_ms + 5.0;  // timing may differ
+  Report extra;
+  extra.records = {dup};
+  const Report merged = Report::merge({whole, extra});
+  EXPECT_EQ(merged.to_json(false).dump(), whole.to_json(false).dump());
+}
+
+TEST(ReportMerge, RejectsConflictingDuplicates) {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct().inputs(int_inputs(3)).seeds(1, 1);
+  const Report whole = run_batch(e.cells());
+  RunRecord conflict = whole.records[0];
+  conflict.steps += 1;  // same cell_index, different payload
+  Report extra;
+  extra.records = {conflict};
+  EXPECT_THROW(Report::merge({whole, extra}), ProtocolError);
+}
+
+TEST(ReportMerge, RejectsUnstampedRecords) {
+  RunRecord r;  // cell_index defaults to -1
+  Report part;
+  part.records = {r};
+  EXPECT_THROW(Report::merge({part}), ProtocolError);
+}
+
 }  // namespace
 }  // namespace mpcn

@@ -1,0 +1,197 @@
+// Tests: src/dist/shard — the cross-process shard coordinator.
+//
+// The load-bearing contracts:
+//   * a sharded run's merged Report is byte-identical (timing excluded)
+//     to the in-process BatchRunner on the same grid — the paper-scale
+//     equivalence sweeps must not depend on WHERE cells ran;
+//   * a worker that dies with a cell in flight gets its cells requeued
+//     onto survivors, and the merged Report is still identical;
+//   * misbehaving workers (garbage emitters, hangs, exec failures)
+//     degrade the run to in-process execution instead of losing cells;
+//   * the exec-mode path through the real `mpcn worker` binary behaves
+//     exactly like the fork-mode path.
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+#include "src/dist/shard.h"
+#include "src/experiment/batch_runner.h"
+#include "src/experiment/experiment.h"
+#include "src/tasks/algorithms.h"
+
+namespace mpcn {
+namespace {
+
+// A 6-cell seeded grid: deterministic, a few hundred steps per cell.
+Experiment small_grid() {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct()
+      .inputs({Value(10), Value(11), Value(12)})
+      .seeds(1, 6);
+  return e;
+}
+
+std::string in_process_dump(const Experiment& e) {
+  return BatchRunner().run(e.cells()).to_json(false).dump();
+}
+
+TEST(Shard, ForkModeMatchesInProcessByteForByte) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+  EXPECT_TRUE(sharded.all_ok());
+}
+
+TEST(Shard, SingleWorkerAndMoreWorkersThanCells) {
+  const Experiment e = small_grid();
+  const std::string expected = in_process_dump(e);
+  for (int shards : {1, 16}) {
+    ShardOptions options;
+    options.shards = shards;
+    EXPECT_EQ(run_sharded(e.cells(), options).to_json(false).dump(),
+              expected)
+        << "shards = " << shards;
+  }
+}
+
+// The kill-one-worker contract: worker 0 dies upon RECEIVING its second
+// cell (first one answered, second one lost in flight). The coordinator
+// must requeue the lost cell onto worker 1 and still produce the exact
+// in-process report.
+TEST(Shard, DeadWorkerCellsAreRequeuedOntoSurvivors) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_max_cells = {2, 0};
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+TEST(Shard, WorkerDyingOnFirstCellStillCompletes) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 3;
+  options.worker_max_cells = {1, 1, 0};  // two workers never answer at all
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+TEST(Shard, AllWorkersDeadFallsBackInProcess) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_max_cells = {1, 1};  // nobody survives
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+// A worker that echoes our own cell lines back (cat) is a protocol
+// violator: it must be written off and the run must degrade, not hang
+// or corrupt the report.
+TEST(Shard, GarbageEmittingWorkerIsWrittenOff) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_argv = {"/bin/cat"};
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+// A hung worker (sleep: reads nothing, writes nothing) trips the
+// watchdog once its cell overruns wall_limit + grace; its cell is
+// requeued. With no survivors the run degrades to in-process execution.
+TEST(Shard, HungWorkerTripsWatchdog) {
+  Experiment e = small_grid();
+  // The grid's cells finish in milliseconds; a tight wall_limit keeps
+  // the watchdog deadline (wall_limit + grace) test-sized.
+  e.wall_limit(std::chrono::milliseconds(200));
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_argv = {"/bin/sleep", "120"};
+  options.watchdog_grace = std::chrono::milliseconds(250);
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+TEST(Shard, ExecFailureDegradesGracefully) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_argv = {"/no/such/binary"};
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+#ifdef MPCN_CLI_BIN
+// The production path: real `mpcn worker` subprocesses via exec.
+TEST(Shard, ExecModeThroughRealCliBinary) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_argv = {MPCN_CLI_BIN, "worker"};
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+// Exec-mode fault injection: --max-cells rides the worker argv.
+TEST(Shard, ExecModeDeadWorkerRequeues) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_argv = {MPCN_CLI_BIN, "worker"};
+  options.worker_max_cells = {2, 0};
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+#endif
+
+TEST(Shard, EmptyGridYieldsEmptyReport) {
+  ShardOptions options;
+  options.shards = 2;
+  const Report r = run_sharded({}, options);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.title, "batch");
+}
+
+TEST(Shard, RejectsAnonymousCellsUpFront) {
+  Experiment anon = Experiment::of(trivial_kset_algorithm(3, 1));
+  anon.direct().inputs({Value(0), Value(1), Value(2)});
+  ShardOptions options;
+  options.shards = 2;
+  EXPECT_THROW(run_sharded(anon.cells(), options), ProtocolError);
+}
+
+TEST(Shard, RejectsZeroShards) {
+  ShardOptions options;
+  options.shards = 0;
+  EXPECT_THROW(run_sharded({}, options), ProtocolError);
+}
+
+// The BatchRunner backend switch: shards > 0 routes through the
+// coordinator, and Experiment::run_all picks it up transparently.
+TEST(Shard, BatchRunnerShardBackendMatchesInProcess) {
+  const Experiment e = small_grid();
+  BatchOptions batch;
+  batch.shards = 2;
+  const Report sharded = e.run_all(batch);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+// Sharding composes with the grid axes: a mem x seed grid through the
+// simulation engine, distributed, still matches in-process bytes.
+TEST(Shard, SimulatedMemGridMatchesInProcess) {
+  Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+  e.direct()
+      .inputs({Value(0), Value(1), Value(2)})
+      .seeds(1, 2)
+      .mems({MemKind::kPrimitive, MemKind::kAfek});
+  ShardOptions options;
+  options.shards = 3;
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+  EXPECT_EQ(sharded.records.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mpcn

@@ -1,0 +1,267 @@
+// Tests: src/dist/wire — the JSON-lines protocol for cross-process
+// shards, and the worker loop's robustness contract.
+//
+// The load-bearing contracts:
+//   * CellSpec and every RunRecord field round-trip through the wire
+//     framing, so a worker's answer is indistinguishable from an
+//     in-process run;
+//   * truncated/garbage lines throw WireError at the parse seam and are
+//     answered with an error line (never a crash) by the worker loop;
+//   * cells that cannot cross the wire (anonymous algorithms, custom
+//     tasks) are rejected loudly at from_cell time;
+//   * a worker rebuilding a cell from its spec reproduces the
+//     coordinator-side run_cell record byte-for-byte (timing excluded).
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+#include "src/dist/shard.h"
+#include "src/dist/wire.h"
+#include "src/experiment/experiment.h"
+#include "src/experiment/registry.h"
+#include "src/tasks/algorithms.h"
+#include "src/tasks/task.h"
+
+namespace mpcn {
+namespace {
+
+// A grid cell with nothing left at its default value.
+ExperimentCell sample_cell() {
+  Experiment e = Experiment::named("trivial_kset", ModelSpec{4, 2, 1});
+  e.in(ModelSpec{5, 2, 1})
+      .inputs_fn([](const ModelSpec& m) {
+        std::vector<Value> in;
+        for (int i = 0; i < m.n; ++i) in.push_back(Value(10 + i));
+        return in;
+      })
+      .seed(9)
+      .mem(MemKind::kAfek)
+      .wait_strategy(WaitStrategy::kSpin)
+      .step_limit(123456)
+      .wall_limit(std::chrono::milliseconds(7890));
+  std::vector<ExperimentCell> cells = e.cells();
+  return cells.at(0);
+}
+
+TEST(CellSpecJson, RoundTripsEveryField) {
+  CellSpec spec = CellSpec::from_cell(sample_cell());
+  spec.hop_index = 3;
+  spec.cell_index = 7;
+  spec.check_legality = false;
+  spec.scheduler = SchedulerMode::kFree;
+  spec.stop_when_all_correct_decided = false;
+  spec.crashes = CrashPlan::hazard(0.25, 2, 77, {0, 2});
+
+  const CellSpec back = CellSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.scenario, "trivial_kset");
+  EXPECT_EQ(back.source, (ModelSpec{4, 2, 1}));
+  EXPECT_EQ(back.mode, ExecutionMode::kSimulated);
+  EXPECT_EQ(back.target, (ModelSpec{5, 2, 1}));
+  EXPECT_EQ(back.hop_index, 3);
+  EXPECT_EQ(back.cell_index, 7);
+  EXPECT_EQ(back.mem, MemKind::kAfek);
+  EXPECT_FALSE(back.check_legality);
+  EXPECT_TRUE(back.use_scenario_task);
+  EXPECT_EQ(back.scheduler, SchedulerMode::kFree);
+  EXPECT_EQ(back.wait, WaitStrategy::kSpin);
+  EXPECT_EQ(back.seed, 9u);
+  EXPECT_EQ(back.step_limit, 123456u);
+  EXPECT_EQ(back.wall_limit_ms, 7890);
+  EXPECT_FALSE(back.stop_when_all_correct_decided);
+  EXPECT_EQ(back.crashes.to_json().dump(), spec.crashes.to_json().dump());
+  ASSERT_EQ(back.inputs.size(), 5u);
+  EXPECT_EQ(back.inputs[4], Value(14));
+  // Second hop: identical dumps (byte determinism of the framing).
+  EXPECT_EQ(CellSpec::from_json(back.to_json()).to_json().dump(),
+            spec.to_json().dump());
+}
+
+TEST(CrashPlanJson, AllKindsRoundTrip) {
+  const CrashPlan plans[] = {
+      CrashPlan::none(),
+      CrashPlan::fixed({CrashPoint{1, 5}, CrashPoint{3, 1}}),
+      CrashPlan::hazard(0.125, 3, 42, {0, 1, 4}),
+      CrashPlan::propose_trap({"sa/0", "sa/1"}, 2, 4,
+                              CrashPlan::TrapPoint::kOwnerElected),
+  };
+  for (const CrashPlan& p : plans) {
+    EXPECT_EQ(CrashPlan::from_json(p.to_json()).to_json().dump(),
+              p.to_json().dump());
+  }
+  EXPECT_THROW(CrashPlan::from_json(Json::parse("{\"kind\":\"bogus\"}")),
+               std::exception);
+}
+
+TEST(WireFraming, MessageLinesRoundTrip) {
+  const WireMessage hello = parse_wire_line(hello_line());
+  EXPECT_EQ(hello.type, WireMessage::Type::kHello);
+  EXPECT_EQ(hello.protocol, kWireProtocolVersion);
+
+  const CellSpec spec = CellSpec::from_cell(sample_cell());
+  const WireMessage cell = parse_wire_line(cell_line(12, spec));
+  EXPECT_EQ(cell.type, WireMessage::Type::kCell);
+  EXPECT_EQ(cell.id, 12);
+  ASSERT_TRUE(cell.spec.has_value());
+  EXPECT_EQ(cell.spec->to_json().dump(), spec.to_json().dump());
+
+  EXPECT_EQ(parse_wire_line(shutdown_line()).type,
+            WireMessage::Type::kShutdown);
+
+  const WireMessage err = parse_wire_line(error_line("went wrong"));
+  EXPECT_EQ(err.type, WireMessage::Type::kError);
+  EXPECT_EQ(err.message, "went wrong");
+}
+
+// The satellite contract: every RunRecord field survives the result
+// framing, including the awkward ones (undecided entries, timeouts,
+// error text, the task verdict triple).
+TEST(WireFraming, ResultRoundTripsEveryRunRecordField) {
+  RunRecord rec;
+  rec.scenario = "trivial_kset";
+  rec.cell_index = 5;
+  rec.mode = ExecutionMode::kColored;
+  rec.source = ModelSpec{4, 2, 1};
+  rec.target = ModelSpec{6, 3, 2};
+  rec.hop_index = 2;
+  rec.seed = 99;
+  rec.scheduler = SchedulerMode::kFree;
+  rec.wait = WaitStrategy::kSpinPark;
+  rec.mem = MemKind::kAfek;
+  rec.inputs = {Value(1), Value("two"), Value(Value::List{Value(3), Value()})};
+  rec.decisions = {std::optional<Value>(Value(1)), std::nullopt,
+                   std::optional<Value>(Value("w"))};
+  rec.crashed = {false, true, false};
+  rec.timed_out = true;
+  rec.steps = 31337;
+  rec.wall_ms = 12.5;
+  rec.task = "2-set agreement";
+  rec.validated = true;
+  rec.valid = false;
+  rec.why = "three distinct values decided";
+  rec.error = "boom: \"quoted\"\nsecond line";
+
+  const std::string line = result_line(41, rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // framing-safe
+
+  const WireMessage msg = parse_wire_line(line);
+  ASSERT_EQ(msg.type, WireMessage::Type::kResult);
+  EXPECT_EQ(msg.id, 41);
+  ASSERT_TRUE(msg.record.has_value());
+  const RunRecord& back = *msg.record;
+  EXPECT_EQ(back.scenario, rec.scenario);
+  EXPECT_EQ(back.cell_index, rec.cell_index);
+  EXPECT_EQ(back.mode, rec.mode);
+  EXPECT_EQ(back.source, rec.source);
+  EXPECT_EQ(back.target, rec.target);
+  EXPECT_EQ(back.hop_index, rec.hop_index);
+  EXPECT_EQ(back.seed, rec.seed);
+  EXPECT_EQ(back.scheduler, rec.scheduler);
+  EXPECT_EQ(back.wait, rec.wait);
+  EXPECT_EQ(back.mem, rec.mem);
+  EXPECT_EQ(back.inputs, rec.inputs);
+  EXPECT_EQ(back.decisions, rec.decisions);
+  EXPECT_EQ(back.crashed, rec.crashed);
+  EXPECT_EQ(back.timed_out, rec.timed_out);
+  EXPECT_EQ(back.steps, rec.steps);
+  EXPECT_DOUBLE_EQ(back.wall_ms, rec.wall_ms);
+  EXPECT_EQ(back.task, rec.task);
+  EXPECT_EQ(back.validated, rec.validated);
+  EXPECT_EQ(back.valid, rec.valid);
+  EXPECT_EQ(back.why, rec.why);
+  EXPECT_EQ(back.error, rec.error);
+}
+
+TEST(WireFraming, GarbageLinesThrowWireError) {
+  EXPECT_THROW(parse_wire_line(""), WireError);
+  EXPECT_THROW(parse_wire_line("not json"), WireError);
+  EXPECT_THROW(parse_wire_line("{\"type\":\"result\",\"id\":1"), WireError);
+  EXPECT_THROW(parse_wire_line("[1,2,3]"), WireError);
+  EXPECT_THROW(parse_wire_line("{\"no\":\"type\"}"), WireError);
+  EXPECT_THROW(parse_wire_line("{\"type\":42}"), WireError);
+  EXPECT_THROW(parse_wire_line("{\"type\":\"bogus\"}"), WireError);
+  // Structurally valid JSON, semantically truncated messages.
+  EXPECT_THROW(parse_wire_line("{\"type\":\"cell\",\"id\":1}"), WireError);
+  EXPECT_THROW(parse_wire_line("{\"type\":\"cell\",\"id\":1,\"spec\":{}}"),
+               WireError);
+  EXPECT_THROW(parse_wire_line("{\"type\":\"result\",\"id\":1}"), WireError);
+}
+
+TEST(CellSpecWire, RejectsNonSerializableCells) {
+  // Anonymous algorithm: no registry name to rebuild from.
+  Experiment anon = Experiment::of(trivial_kset_algorithm(3, 1));
+  anon.direct().inputs({Value(0), Value(1), Value(2)});
+  EXPECT_THROW(CellSpec::from_cell(anon.cells().at(0)), ProtocolError);
+
+  // Custom task on a named scenario: not the canonical one.
+  Experiment custom = Experiment::named("trivial_kset", ModelSpec{3, 1, 1});
+  custom.direct()
+      .inputs({Value(0), Value(1), Value(2)})
+      .with_task(std::make_shared<KSetAgreementTask>(3));
+  EXPECT_THROW(CellSpec::from_cell(custom.cells().at(0)), ProtocolError);
+}
+
+TEST(CellSpecWire, RebuiltCellRunsIdentically) {
+  const ExperimentCell cell = sample_cell();
+  const RunRecord direct = run_cell(cell);
+  const RunRecord rebuilt = run_cell(CellSpec::from_cell(cell).to_cell());
+  EXPECT_EQ(rebuilt.to_json(false).dump(), direct.to_json(false).dump());
+  EXPECT_TRUE(direct.error.empty()) << direct.error;
+}
+
+// ----------------------------------------------------------- worker loop
+
+TEST(WorkerLoop, ServesCellsAndSurvivesGarbage) {
+  Experiment e = Experiment::named("trivial_kset", ModelSpec{3, 1, 1});
+  e.direct().inputs({Value(0), Value(1), Value(2)}).seed(4);
+  const ExperimentCell cell = e.cells().at(0);
+  CellSpec good = CellSpec::from_cell(cell);
+  CellSpec unknown = good;
+  unknown.scenario = "no_such_scenario";
+
+  StringLineIO io({
+      "complete garbage",
+      cell_line(0, unknown),
+      cell_line(1, good),
+      shutdown_line(),
+      cell_line(2, good),  // after shutdown: must not be served
+  });
+  run_worker_loop(io);
+
+  ASSERT_EQ(io.written().size(), 4u);
+  EXPECT_EQ(parse_wire_line(io.written()[0]).type,
+            WireMessage::Type::kHello);
+  EXPECT_EQ(parse_wire_line(io.written()[1]).type,
+            WireMessage::Type::kError);
+
+  // The unknown scenario became a captured per-cell error, not a crash.
+  const WireMessage bad = parse_wire_line(io.written()[2]);
+  ASSERT_EQ(bad.type, WireMessage::Type::kResult);
+  EXPECT_EQ(bad.id, 0);
+  ASSERT_TRUE(bad.record.has_value());
+  EXPECT_FALSE(bad.record->error.empty());
+  EXPECT_EQ(bad.record->scenario, "no_such_scenario");
+
+  const WireMessage ok = parse_wire_line(io.written()[3]);
+  ASSERT_EQ(ok.type, WireMessage::Type::kResult);
+  EXPECT_EQ(ok.id, 1);
+  ASSERT_TRUE(ok.record.has_value());
+  EXPECT_TRUE(ok.record->error.empty()) << ok.record->error;
+  EXPECT_EQ(ok.record->to_json(false).dump(),
+            run_cell(cell).to_json(false).dump());
+}
+
+TEST(WorkerLoop, MaxCellsInjectsACrashBeforeReplying) {
+  Experiment e = Experiment::named("trivial_kset", ModelSpec{3, 1, 1});
+  e.direct().inputs({Value(0), Value(1), Value(2)});
+  const CellSpec spec = CellSpec::from_cell(e.cells().at(0));
+  StringLineIO io({cell_line(0, spec), cell_line(1, spec)});
+  WorkerOptions options;
+  options.max_cells = 1;
+  run_worker_loop(io, options);
+  // Hello only: the worker died on receiving its first cell, unanswered.
+  ASSERT_EQ(io.written().size(), 1u);
+  EXPECT_EQ(parse_wire_line(io.written()[0]).type,
+            WireMessage::Type::kHello);
+}
+
+}  // namespace
+}  // namespace mpcn
