@@ -17,6 +17,8 @@
 #include "src/experiment/experiment.h"
 #include "src/experiment/record.h"
 #include "src/experiment/registry.h"
+#include "src/explore/explorer.h"
+#include "src/history/history.h"
 
 namespace mpcn {
 
@@ -26,8 +28,12 @@ const char kUsage[] =
     "usage: mpcn <command> [args]\n"
     "\n"
     "commands:\n"
-    "  list                         enumerate registered scenarios\n"
+    "  list [--json]                enumerate registered scenarios (name,\n"
+    "                               axis constraints, description)\n"
     "  run <scenario> --in n,t,x    expand and run an experiment grid\n"
+    "  explore <scenario> --in ...  adversarial schedule search on one\n"
+    "                               cell (exit 1 when a violation is\n"
+    "                               found)\n"
     "  worker [--max-cells N]       JSON-lines worker on stdin/stdout\n"
     "  diff <a.json> <b.json>       compare two reports (exit 1 on\n"
     "                               regressions)\n"
@@ -57,7 +63,26 @@ const char kUsage[] =
     "                    reports compare byte-identical\n"
     "  --fork-workers    shard via fork() instead of spawning\n"
     "                    `mpcn worker` subprocesses\n"
-    "  --title S         report title (default: scenario name)\n";
+    "  --title S         report title (default: scenario name)\n"
+    "\n"
+    "explore flags (plus --in/--source/--mode/--mem/--steps/--wall/\n"
+    "--inputs/--shards/--threads/--fork-workers as for run):\n"
+    "  --policy P        random|pct|dfs (default: pct)\n"
+    "  --budget N        max schedules to try (default: 200)\n"
+    "  --seed S          base seed; schedule i uses S+i (default: 1)\n"
+    "  --max-violations M  stop after M violations (default 1; 0 = all)\n"
+    "  --pct-depth D     PCT priority-change depth (default: 3)\n"
+    "  --horizon K       PCT step horizon (default: probe the cell)\n"
+    "  --bound B         DFS preemption bound (default: 2)\n"
+    "  --check-lin       also check direct-run histories against the\n"
+    "                    snapshot sequential spec (in-process only)\n"
+    "  --no-shrink       keep violating traces unshrunk\n"
+    "  --shrink-budget R max replays per shrink (default: 400)\n"
+    "  --record PATH     write the first schedule's observed trace JSON\n"
+    "  --replay PATH     run exactly one scripted schedule from PATH\n"
+    "                    (combines with --record to re-emit the observed\n"
+    "                    trace for byte-identity checks)\n"
+    "  --json PATH       write the explore report JSON (\"-\" = stdout)\n";
 
 Report load_report(const std::string& path) {
   std::ifstream in(path);
@@ -77,11 +102,30 @@ std::string self_exe_path(const char* argv0) {
 }
 
 int cmd_list(int argc, char** argv) {
-  Args args(argc, argv, 2, {}, {});
-  (void)args;
+  Args args(argc, argv, 2, {}, {"json"});
+  if (args.has("json")) {
+    // Machine-readable registry: what explore tooling enumerates to pick
+    // targets (name + axis constraints + whether a task oracle exists).
+    Json arr = Json::array();
+    for (const Scenario& s : scenario_registry()) {
+      Json j = Json::object();
+      j.set("name", s.name)
+          .set("axis", s.axis)
+          .set("colored", s.colored)
+          .set("has_task", s.make_task != nullptr)
+          .set("description", s.description);
+      arr.push(std::move(j));
+    }
+    std::printf("%s\n", arr.dump(2).c_str());
+    return 0;
+  }
+  std::printf("%-24s %-12s %-8s %s\n", "name", "axis", "kind",
+              "description");
   for (const Scenario& s : scenario_registry()) {
-    std::printf("%-24s %s%s\n", s.name.c_str(), s.description.c_str(),
-                s.colored ? " [colored]" : "");
+    const char* kind =
+        s.colored ? "colored" : (s.make_task ? "task" : "workload");
+    std::printf("%-24s %-12s %-8s %s\n", s.name.c_str(), s.axis.c_str(),
+                kind, s.description.c_str());
   }
   return 0;
 }
@@ -233,6 +277,177 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+ScheduleTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ProtocolError("cannot open trace file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ScheduleTrace::from_json(Json::parse(text.str()));
+}
+
+void write_json_file(const std::string& path, const Json& j) {
+  std::ofstream out(path);
+  if (!out) throw ProtocolError("cannot open '" + path + "'");
+  out << j.dump(2) << "\n";
+  out.flush();
+  if (!out.good()) throw ProtocolError("write to '" + path + "' failed");
+}
+
+int cmd_explore(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {"in", "source", "mode", "mem", "steps", "wall", "inputs",
+             "policy", "budget", "seed", "max-violations", "pct-depth",
+             "horizon", "bound", "shrink-budget", "record", "replay",
+             "json", "shards", "threads"},
+            {"check-lin", "no-shrink", "fork-workers"});
+  if (args.positional().size() != 1) {
+    throw ProtocolError(
+        "explore needs exactly one scenario name (see `mpcn list`)");
+  }
+  const std::string scenario = args.positional()[0];
+  const ModelSpec target = parse_model_spec(args.require("in"));
+  const ModelSpec source = args.has("source")
+                               ? parse_model_spec(args.require("source"))
+                               : target;
+  const std::uint64_t base_seed = parse_u64(args.value_or("seed", "1"));
+
+  Experiment e = Experiment::named(scenario, source);
+  const std::string mode =
+      args.value_or("mode", source == target ? "direct" : "simulated");
+  if (mode == "direct") {
+    if (!(source == target)) {
+      throw ProtocolError(
+          "--mode direct runs in the source model; --in and --source "
+          "must match (or drop --source)");
+    }
+    e.direct();
+  } else if (mode == "simulated") {
+    e.in(target);
+  } else if (mode == "colored") {
+    e.colored_in(target);
+  } else {
+    throw ProtocolError("explore --mode must be direct|simulated|colored "
+                        "(chains expand to many cells; explore drives one)");
+  }
+  e.seed(base_seed);
+  e.mem(mem_kind_from_string(args.value_or("mem", "primitive")));
+  if (args.has("steps")) e.step_limit(parse_u64(args.require("steps")));
+  if (args.has("wall")) {
+    e.wall_limit(std::chrono::milliseconds(parse_u64(args.require("wall"))));
+  }
+  if (args.has("inputs")) {
+    std::vector<Value> pool;
+    for (const std::string& tok : split(args.require("inputs"), ',')) {
+      pool.push_back(Value(parse_i64(tok)));
+    }
+    e.input_pool(std::move(pool));
+  } else {
+    e.inputs_fn([](const ModelSpec& m) {
+      std::vector<Value> in;
+      in.reserve(static_cast<std::size_t>(m.n));
+      for (int i = 0; i < m.n; ++i) in.push_back(Value(i));
+      return in;
+    });
+  }
+  const std::vector<ExperimentCell> grid = e.cells();
+  if (grid.size() != 1) {
+    throw ProtocolError("explore drives exactly one cell; the flags "
+                        "expanded to " +
+                        std::to_string(grid.size()));
+  }
+  ExperimentCell cell = grid.front();
+
+  std::shared_ptr<const SequentialSpec> spec;
+  if (args.has("check-lin")) {
+    if (cell.mode != ExecutionMode::kDirect) {
+      throw ProtocolError("--check-lin observes direct-mode memory "
+                          "histories; use --mode direct");
+    }
+    spec = std::make_shared<const SnapshotSpec>(cell.target.n);
+  }
+
+  // ---- replay mode: one scripted schedule, verdict, optional re-record.
+  if (args.has("replay")) {
+    const ScheduleTrace trace = load_trace(args.require("replay"));
+    auto history = spec ? std::make_shared<HistoryRecorder>() : nullptr;
+    cell.history = history;
+    const RunRecord rec = replay_trace(cell, trace);
+    bool violated = !rec.ok();
+    std::string why = rec.ok() ? "" : (rec.error.empty() ? rec.why
+                                                         : rec.error);
+    if (!violated && spec && history) {
+      const std::vector<Event> events = history->events();
+      if (events.size() > 64) {
+        // The checker caps at 64 operations; a silent pass here would be
+        // a false 'ok' from the very oracle the user asked for.
+        std::fprintf(stderr,
+                     "warning: --check-lin skipped (%zu events exceed the "
+                     "64-operation checker cap)\n",
+                     events.size());
+      } else if (!is_linearizable(events, *spec)) {
+        violated = true;
+        why = "history violates sequential spec";
+      }
+    }
+    if (const auto path = args.value("record")) {
+      if (!rec.schedule_trace) {
+        throw ProtocolError("replay produced no schedule trace");
+      }
+      write_json_file(*path, rec.schedule_trace->to_json());
+    }
+    std::printf("replay: %s (%llu steps, digest %s)%s\n",
+                violated ? "VIOLATION" : "ok",
+                static_cast<unsigned long long>(rec.steps),
+                rec.schedule_digest.c_str(),
+                why.empty() ? "" : ("\n  " + why).c_str());
+    return violated ? 1 : 0;
+  }
+
+  // ---- search mode.
+  ExploreOptions opts;
+  opts.policy = explore_policy_from_string(args.value_or("policy", "pct"));
+  opts.seed = base_seed;
+  opts.budget = static_cast<int>(parse_u64(args.value_or("budget", "200")));
+  opts.max_violations =
+      static_cast<int>(parse_u64(args.value_or("max-violations", "1")));
+  opts.pct_depth =
+      static_cast<int>(parse_u64(args.value_or("pct-depth", "3")));
+  if (args.has("horizon")) {
+    opts.pct_horizon = parse_u64(args.require("horizon"));
+  }
+  opts.dfs_preemption_bound =
+      static_cast<int>(parse_u64(args.value_or("bound", "2")));
+  opts.shrink_violations = !args.has("no-shrink");
+  opts.shrink_budget =
+      static_cast<int>(parse_u64(args.value_or("shrink-budget", "400")));
+  opts.spec = spec;
+  if (args.has("shards")) {
+    opts.shards = static_cast<int>(parse_u64(args.require("shards")));
+  }
+  if (args.has("threads")) {
+    opts.threads = static_cast<int>(parse_u64(args.require("threads")));
+  }
+  if (opts.shards > 0 && !args.has("fork-workers")) {
+    opts.worker_argv = {self_exe_path(argv[0]), "worker"};
+  }
+
+  const ExploreResult result = explore(cell, opts);
+
+  if (const auto path = args.value("record")) {
+    write_json_file(*path, result.first_trace.to_json());
+  }
+  FILE* summary_out = stdout;
+  const std::string json_path = args.value_or("json", "");
+  if (json_path == "-") {
+    std::printf("%s\n", result.to_json().dump(2).c_str());
+    summary_out = stderr;
+  } else if (!json_path.empty()) {
+    write_json_file(json_path, result.to_json());
+  }
+  std::fprintf(summary_out, "%s\n", result.summary().c_str());
+  return result.found() ? 1 : 0;
+}
+
 int cmd_diff(int argc, char** argv) {
   Args args(argc, argv, 2, {"json"}, {});
   if (args.positional().size() != 2) {
@@ -273,6 +488,7 @@ int cli_main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list(argc, argv);
     if (command == "run") return cmd_run(argc, argv);
+    if (command == "explore") return cmd_explore(argc, argv);
     if (command == "worker") return cmd_worker(argc, argv);
     if (command == "diff") return cmd_diff(argc, argv);
     if (command == "help" || command == "--help" || command == "-h") {

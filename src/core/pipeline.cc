@@ -4,6 +4,7 @@
 
 #include "src/common/errors.h"
 #include "src/experiment/experiment.h"
+#include "src/history/history.h"
 #include "src/objects/x_consensus.h"
 #include "src/snapshot/afek_snapshot.h"
 #include "src/snapshot/primitive_snapshot.h"
@@ -32,18 +33,44 @@ struct DirectWorld {
 class DirectSimContext : public SimContext {
  public:
   DirectSimContext(std::shared_ptr<DirectWorld> world, int n,
-                   ProcessContext& ctx, Value input)
-      : world_(std::move(world)), n_(n), ctx_(ctx), input_(std::move(input)) {}
+                   ProcessContext& ctx, Value input,
+                   std::shared_ptr<HistoryRecorder> history)
+      : world_(std::move(world)),
+        n_(n),
+        ctx_(ctx),
+        input_(std::move(input)),
+        history_(std::move(history)) {}
 
   int id() const override { return ctx_.pid(); }
   int n() const override { return n_; }
   Value input() const override { return input_; }
 
   void write(const Value& v) override {
+    const std::uint64_t invoke = history_ ? step_clock() : 0;
     world_->mem->write(ctx_, ctx_.pid(), v);
+    if (history_) {
+      Event e;
+      e.tid = ctx_.tid();
+      e.op = "write";
+      e.arg = Value::pair(Value(ctx_.pid()), v);
+      e.invoke_step = invoke;
+      e.response_step = step_clock();
+      history_->record(std::move(e));
+    }
   }
   std::vector<Value> snapshot() override {
-    return world_->mem->snapshot(ctx_);
+    const std::uint64_t invoke = history_ ? step_clock() : 0;
+    std::vector<Value> view = world_->mem->snapshot(ctx_);
+    if (history_) {
+      Event e;
+      e.tid = ctx_.tid();
+      e.op = "snapshot";
+      e.ret = Value(Value::List(view.begin(), view.end()));
+      e.invoke_step = invoke;
+      e.response_step = step_clock();
+      history_->record(std::move(e));
+    }
+    return view;
   }
   Value x_cons_propose(const std::string& name, const Value& v) override {
     auto it = world_->xcons.find(name);
@@ -56,16 +83,22 @@ class DirectSimContext : public SimContext {
   bool has_decided() const override { return ctx_.has_decided(); }
 
  private:
+  std::uint64_t step_clock() const {
+    return ctx_.backend().controller().steps();
+  }
+
   std::shared_ptr<DirectWorld> world_;
   const int n_;
   ProcessContext& ctx_;
   Value input_;
+  std::shared_ptr<HistoryRecorder> history_;
 };
 
 }  // namespace
 
-std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm,
-                                          MemKind mem) {
+std::vector<Program> make_direct_programs(
+    const SimulatedAlgorithm& algorithm, MemKind mem,
+    std::shared_ptr<HistoryRecorder> history) {
   algorithm.validate();
   auto world = std::make_shared<DirectWorld>(algorithm, mem);
   const int n = algorithm.n();
@@ -77,12 +110,12 @@ std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm,
     Value static_input =
         stat ? (*stat)[static_cast<std::size_t>(j)] : Value::nil();
     const bool use_static = stat.has_value();
-    programs.push_back(
-        [world, n, prog, static_input, use_static](ProcessContext& ctx) {
-          DirectSimContext sc(world, n, ctx,
-                              use_static ? static_input : ctx.input());
-          prog(sc);
-        });
+    programs.push_back([world, n, prog, static_input, use_static,
+                        history](ProcessContext& ctx) {
+      DirectSimContext sc(world, n, ctx,
+                          use_static ? static_input : ctx.input(), history);
+      prog(sc);
+    });
   }
   return programs;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "src/core/bg_engine.h"
 #include "src/core/models.h"
@@ -24,12 +25,19 @@
 
 namespace mpcn {
 
+class HistoryRecorder;  // src/history/history.h
+
 // Wrap A's programs as native runtime programs in A's own model. `mem`
 // picks the snapshot substrate backing mem[1..n]: the one-step model
 // primitive (default) or the wait-free Afek construction, so direct
 // cells can ablate the substrate through the Experiment mem axis.
-std::vector<Program> make_direct_programs(const SimulatedAlgorithm& algorithm,
-                                          MemKind mem = MemKind::kPrimitive);
+// `history` (optional) records every mem write/snapshot as an Event —
+// op "write" arg [j, v], op "snapshot" ret = the view — stamped with the
+// global step clock, the raw material for the explorer's SequentialSpec
+// oracles (src/history/linearizability.h).
+std::vector<Program> make_direct_programs(
+    const SimulatedAlgorithm& algorithm, MemKind mem = MemKind::kPrimitive,
+    std::shared_ptr<HistoryRecorder> history = nullptr);
 
 Outcome run_direct(const SimulatedAlgorithm& algorithm,
                    const std::vector<Value>& inputs,

@@ -27,6 +27,10 @@ Json CellSpec::to_json() const {
       .set("wall_limit_ms", wall_limit_ms)
       .set("stop_when_all_correct_decided", stop_when_all_correct_decided)
       .set("crashes", crashes.to_json());
+  // Explore fields only when active: pre-explorer coordinators and
+  // workers keep exchanging byte-identical cell lines.
+  if (!schedule.is_default()) j.set("schedule", schedule.to_json());
+  if (record_schedule) j.set("record_schedule", true);
   Json in = Json::array();
   for (const Value& v : inputs) in.push(value_to_json(v));
   j.set("inputs", std::move(in));
@@ -53,6 +57,12 @@ CellSpec CellSpec::from_json(const Json& j) {
     spec.stop_when_all_correct_decided =
         j.at("stop_when_all_correct_decided").as_bool();
     spec.crashes = CrashPlan::from_json(j.at("crashes"));
+    if (const Json* sched = j.find("schedule")) {
+      spec.schedule = ScheduleSpec::from_json(*sched);
+    }
+    if (const Json* rs = j.find("record_schedule")) {
+      spec.record_schedule = rs->as_bool();
+    }
     for (const Json& v : j.at("inputs").items()) {
       spec.inputs.push_back(value_from_json(v));
     }
@@ -91,6 +101,17 @@ CellSpec CellSpec::from_cell(const ExperimentCell& cell) {
   spec.stop_when_all_correct_decided =
       cell.options.stop_when_all_correct_decided;
   spec.crashes = cell.options.crashes;
+  if (cell.policy_override) {
+    throw ProtocolError(
+        "wire: an in-process SchedulePolicy override (e.g. bounded DFS) "
+        "cannot cross the wire; use a declarative ScheduleSpec");
+  }
+  if (cell.history) {
+    throw ProtocolError(
+        "wire: an in-process HistoryRecorder hook cannot cross the wire");
+  }
+  spec.schedule = cell.schedule;
+  spec.record_schedule = cell.record_schedule;
   spec.inputs = cell.inputs;
   if (cell.task) {
     if (!s.make_task) {
@@ -137,6 +158,8 @@ ExperimentCell CellSpec::to_cell() const {
   cell.options.wall_limit = std::chrono::milliseconds(wall_limit_ms);
   cell.options.stop_when_all_correct_decided = stop_when_all_correct_decided;
   cell.options.crashes = crashes;
+  cell.schedule = schedule;
+  cell.record_schedule = record_schedule;
   if (use_scenario_task) {
     if (!s.make_task) {
       throw ProtocolError("wire: scenario '" + scenario +

@@ -69,6 +69,14 @@ struct CellSpec {
   bool stop_when_all_correct_decided = true;
   CrashPlan crashes = CrashPlan::none();
 
+  // Schedule-explorer fields (src/explore/): the declarative grant
+  // policy and whether to ship the grant trace back in the record. This
+  // is what lets explore batches shard like any experiment grid. An
+  // in-process policy_override or history hook is NOT serializable;
+  // from_cell rejects cells carrying one.
+  ScheduleSpec schedule;
+  bool record_schedule = false;
+
   std::vector<Value> inputs;
 
   Json to_json() const;

@@ -8,6 +8,7 @@
 #include "src/core/pipeline.h"
 #include "src/experiment/batch_runner.h"
 #include "src/experiment/registry.h"
+#include "src/explore/policy.h"
 
 namespace mpcn {
 
@@ -47,7 +48,7 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
   std::vector<Program> programs;
   switch (cell.mode) {
     case ExecutionMode::kDirect:
-      programs = make_direct_programs(algo, cell.mem);
+      programs = make_direct_programs(algo, cell.mem, cell.history);
       break;
     case ExecutionMode::kSimulated: {
       SimulationOptions so;
@@ -69,11 +70,26 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
           "executed directly");
   }
 
+  ExecutionOptions options = cell.options;
+  if (cell.policy_override) {
+    options.schedule_policy = cell.policy_override;
+  } else if (!cell.schedule.is_default()) {
+    options.schedule_policy = make_policy(cell.schedule, options.seed);
+  }
+  options.record_schedule = cell.record_schedule;
+
   const auto start = std::chrono::steady_clock::now();
-  Outcome out = run_execution(std::move(programs), cell.inputs, cell.options);
+  Execution exec(std::move(programs), cell.inputs, options);
+  Outcome out = exec.run();
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+  if (cell.record_schedule && options.mode == SchedulerMode::kLockstep) {
+    auto trace = std::make_shared<ScheduleTrace>();
+    trace->grants = exec.controller().grant_trace();
+    rec.schedule_digest = trace->digest();
+    rec.schedule_trace = std::move(trace);
+  }
   rec.decisions = std::move(out.decisions);
   rec.crashed = std::move(out.crashed);
   rec.timed_out = out.timed_out;

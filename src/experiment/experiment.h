@@ -37,13 +37,15 @@
 #include "src/core/models.h"
 #include "src/core/sim_api.h"
 #include "src/experiment/record.h"
+#include "src/explore/trace.h"
 #include "src/runtime/crash_plan.h"
 #include "src/runtime/execution.h"
 #include "src/tasks/task.h"
 
 namespace mpcn {
 
-struct BatchOptions;  // batch_runner.h
+struct BatchOptions;   // batch_runner.h
+class HistoryRecorder;  // src/history/history.h
 
 // Per-cell crash-plan factory: one plan per (target model, seed) cell, so
 // adversaries can scale with the hop's budget and stay seed-deterministic.
@@ -67,6 +69,23 @@ struct ExperimentCell {
   ExecutionOptions options;  // seed and crash plan already baked in
   std::shared_ptr<const ColorlessTask> task;  // may be null
   std::vector<Value> inputs;
+
+  // ------------------------------------------- schedule-explorer hooks
+  // Declarative grant policy (src/explore/trace.h). kDefault keeps the
+  // controller's built-in seeded schedule; anything else is materialized
+  // by run_cell via make_policy(). Wire-serializable (src/dist/wire.h).
+  ScheduleSpec schedule;
+  // In-process only: an explicit policy object, e.g. a BoundedDfsPolicy
+  // whose state spans runs. Wins over `schedule`; not serializable.
+  std::shared_ptr<SchedulePolicy> policy_override;
+  // Capture the grant trace: the RunRecord gains schedule_digest and
+  // schedule_trace (lock-step cells only).
+  bool record_schedule = false;
+  // In-process only: when set, direct-mode cells record every mem
+  // write/snapshot as an Event (src/history/) so the explorer can run
+  // SequentialSpec oracles over the run. Ignored by engine modes, whose
+  // simulated operations already funnel through agreement protocols.
+  std::shared_ptr<HistoryRecorder> history;
 };
 
 // Execute one cell. The throwing variant propagates configuration and

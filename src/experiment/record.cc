@@ -1,8 +1,10 @@
 #include "src/experiment/record.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/common/errors.h"
+#include "src/experiment/diff.h"
 
 namespace mpcn {
 
@@ -136,8 +138,12 @@ Json RunRecord::to_json(bool include_timing) const {
       .set("validated", validated)
       .set("valid", valid)
       .set("why", why)
-      .set("error", error)
-      .set("ok", ok());
+      .set("error", error);
+  // Schedule identity only when recorded: default-path reports stay
+  // byte-identical to pre-explorer builds.
+  if (!schedule_digest.empty()) j.set("schedule_digest", schedule_digest);
+  if (schedule_trace) j.set("schedule_trace", schedule_trace->to_json());
+  j.set("ok", ok());
   return j;
 }
 
@@ -183,6 +189,13 @@ RunRecord RunRecord::from_json(const Json& j) {
   r.valid = j.at("valid").as_bool();
   r.why = j.at("why").as_string();
   r.error = j.at("error").as_string();
+  if (const Json* d = j.find("schedule_digest")) {
+    r.schedule_digest = d->as_string();
+  }
+  if (const Json* t = j.find("schedule_trace")) {
+    r.schedule_trace =
+        std::make_shared<const ScheduleTrace>(ScheduleTrace::from_json(*t));
+  }
   return r;
 }
 
@@ -235,16 +248,21 @@ Report Report::from_json(const Json& j) {
 
 Report Report::merge(const std::vector<Report>& parts) {
   Report out;
+  // Pre-PR4 reports carry no cell_index stamp. Such records merge keyed
+  // by their grid IDENTITY (record_identity, diff.h) instead: exact
+  // duplicates (timing excluded) are dropped, anything else is kept in
+  // part order AFTER the index-stamped records — identity is not a
+  // guaranteed-unique key, so differing same-identity records cannot be
+  // ruled conflicts the way duplicate indices can.
+  std::vector<RunRecord> unindexed;
   for (const Report& part : parts) {
     if (out.title.empty()) out.title = part.title;
     for (const RunRecord& r : part.records) {
       if (r.cell_index < 0) {
-        throw ProtocolError(
-            "Report::merge requires grid-stamped records (cell_index >= 0); "
-            "record for scenario '" +
-            r.scenario + "' seed " + std::to_string(r.seed) + " has none");
+        unindexed.push_back(r);
+      } else {
+        out.records.push_back(r);
       }
-      out.records.push_back(r);
     }
   }
   std::stable_sort(out.records.begin(), out.records.end(),
@@ -265,6 +283,14 @@ Report Report::merge(const std::vector<Report>& parts) {
       continue;
     }
     merged.push_back(std::move(r));
+  }
+  // Serialize each unindexed payload once; identity+payload equality
+  // marks an exact duplicate.
+  std::set<std::string> seen_unindexed;
+  for (RunRecord& r : unindexed) {
+    const std::string key =
+        record_identity(r) + '\n' + r.to_json(false).dump();
+    if (seen_unindexed.insert(key).second) merged.push_back(std::move(r));
   }
   out.records = std::move(merged);
   return out;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "src/common/value.h"
 #include "src/core/bg_engine.h"
 #include "src/core/models.h"
+#include "src/explore/trace.h"
 #include "src/runtime/execution.h"
 
 namespace mpcn {
@@ -87,6 +89,14 @@ struct RunRecord {
 
   std::string error;  // exception text if the cell threw ("" = clean run)
 
+  // Schedule identity, populated when the cell asked for it
+  // (ExperimentCell::record_schedule): the grant trace's 16-hex FNV
+  // fingerprint, and the trace itself. Both serialize only when present,
+  // so reports from non-exploring grids stay byte-identical to pre-
+  // explorer builds.
+  std::string schedule_digest;  // "" = schedule not recorded
+  std::shared_ptr<const ScheduleTrace> schedule_trace;  // may be null
+
   // Clean run + liveness + (when validated) task relation all hold.
   bool ok() const;
 
@@ -114,10 +124,12 @@ struct Report {
   // records are sorted by index (ties keep part order), exact duplicates
   // (timing excluded) are dropped — a cell requeued from a presumed-dead
   // worker may legitimately complete twice — and conflicting duplicates
-  // throw ProtocolError. Every record must be grid-stamped
-  // (cell_index >= 0). The title comes from the first non-empty part
-  // title. This is how the shard coordinator (src/dist/shard.h)
-  // reassembles worker results into the in-process grid order.
+  // throw ProtocolError. Records WITHOUT a stamp (pre-PR4 baselines)
+  // are tolerated: they merge keyed by record_identity (diff.h) — exact
+  // duplicates dropped, the rest kept in part order after the stamped
+  // records. The title comes from the first non-empty part title. This
+  // is how the shard coordinator (src/dist/shard.h) reassembles worker
+  // results into the in-process grid order.
   static Report merge(const std::vector<Report>& parts);
 
   // One-line human summary ("12/12 cells ok, 48,230 steps").

@@ -23,6 +23,7 @@ std::vector<Scenario> build_registry() {
   reg.push_back(Scenario{
       "trivial_kset",
       "textbook t-resilient (t+1)-set agreement for ASM(n, t, 1)",
+      /*axis=*/"x=1",
       [](const ModelSpec& m) {
         require_rw_source("trivial_kset", m);
         return trivial_kset_algorithm(m.n, m.t);
@@ -36,6 +37,7 @@ std::vector<Scenario> build_registry() {
       "group_kset",
       "direct frontier algorithm for ASM(n, t, x): k = floor(t/x) + 1 "
       "set agreement through x-ported group objects",
+      /*axis=*/"any",
       [](const ModelSpec& m) { return group_kset_algorithm(m.n, m.t, m.x); },
       [](const ModelSpec& m) -> std::shared_ptr<const ColorlessTask> {
         return std::make_shared<KSetAgreementTask>(floor_div(m.t, m.x) + 1);
@@ -45,6 +47,7 @@ std::vector<Scenario> build_registry() {
   reg.push_back(Scenario{
       "single_object_consensus",
       "wait-free consensus through one n-ported object (needs x >= n)",
+      /*axis=*/"x>=n",
       [](const ModelSpec& m) {
         return single_object_consensus_algorithm(m.n, m.t, m.x);
       },
@@ -57,6 +60,7 @@ std::vector<Scenario> build_registry() {
       "step_churn",
       "pure step-token churn: 2001 register writes per process (input + "
       "2000 rounds), decide your input (scheduler-handoff workload)",
+      /*axis=*/"x=1 t=0",
       [](const ModelSpec& m) {
         require_rw_source("step_churn", m);
         if (m.t != 0) {
@@ -75,6 +79,7 @@ std::vector<Scenario> build_registry() {
       "width-swept snapshot churn: 40 write+snapshot rounds per process, "
       "decide your input (register/snapshot hot-path workload; pair with "
       "the afek mem backend to ablate the substrate)",
+      /*axis=*/"x=1 t=0",
       [](const ModelSpec& m) {
         require_rw_source("snapshot_churn", m);
         if (m.t != 0) {
@@ -89,8 +94,33 @@ std::vector<Scenario> build_registry() {
       /*colored=*/false});
 
   reg.push_back(Scenario{
+      "racy_register",
+      "DELIBERATELY BUGGY exhibit: process 0 publishes its input with a "
+      "torn two-step pair write; a reader snapshot inside the one-step "
+      "window decides the bogus half (validity violation). The schedule "
+      "explorer's known target",
+      /*axis=*/"x=1 t=0 n>=2",
+      [](const ModelSpec& m) {
+        require_rw_source("racy_register", m);
+        if (m.t != 0) {
+          throw ProtocolError(
+              "racy_register is a crash-free exhibit: source model must "
+              "have t = 0, got " +
+              m.to_string());
+        }
+        return racy_register_algorithm(m.n);
+      },
+      [](const ModelSpec& m) -> std::shared_ptr<const ColorlessTask> {
+        // k = n makes agreement vacuous; only VALIDITY can fail, and it
+        // fails exactly when a reader decides the torn -1 half.
+        return std::make_shared<KSetAgreementTask>(m.n);
+      },
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
       "snapshot_renaming",
       "wait-free snapshot-based adaptive (2n-1)-renaming (colored)",
+      /*axis=*/"x=1",
       [](const ModelSpec& m) {
         require_rw_source("snapshot_renaming", m);
         return snapshot_renaming_algorithm(m.n, m.t);
@@ -101,6 +131,7 @@ std::vector<Scenario> build_registry() {
   reg.push_back(Scenario{
       "identity_colored",
       "diagnostic colored task: p_j decides the unique name j+1",
+      /*axis=*/"any",
       [](const ModelSpec& m) {
         return identity_colored_algorithm(m.n, m.t, m.x);
       },

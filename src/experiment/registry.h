@@ -21,6 +21,12 @@ struct Scenario {
   std::string name;
   std::string description;
 
+  // Source-model axis constraints as a human/machine-greppable token
+  // list, e.g. "x=1", "x=1 t=0", "x>=n", "any". Surfaced by `mpcn list`
+  // (including --json) so explore tooling can enumerate which scenarios
+  // fit a model without trial-constructing them.
+  std::string axis;
+
   // Build the algorithm for source model `m`. Scenarios whose source is
   // read/write (x = 1 structurally) reject m.x != 1 with ProtocolError.
   std::function<SimulatedAlgorithm(const ModelSpec& m)> make_algorithm;

@@ -1,0 +1,375 @@
+#include "src/explore/explorer.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+#include "src/experiment/batch_runner.h"
+#include "src/history/history.h"
+
+namespace mpcn {
+
+const char* to_string(ExplorePolicy policy) {
+  switch (policy) {
+    case ExplorePolicy::kSeededRandom:
+      return "random";
+    case ExplorePolicy::kPct:
+      return "pct";
+    case ExplorePolicy::kBoundedDfs:
+      return "dfs";
+  }
+  return "?";
+}
+
+ExplorePolicy explore_policy_from_string(const std::string& s) {
+  if (s == "random") return ExplorePolicy::kSeededRandom;
+  if (s == "pct") return ExplorePolicy::kPct;
+  if (s == "dfs") return ExplorePolicy::kBoundedDfs;
+  throw ProtocolError("unknown explore policy '" + s +
+                      "' (want random|pct|dfs)");
+}
+
+namespace {
+
+constexpr std::size_t kSpecOpCap = 64;  // linearizability checker limit
+
+struct OracleVerdict {
+  bool violated = false;
+  bool spec_skipped = false;
+  std::string why;
+};
+
+// The two oracles: the task/liveness verdict already folded into
+// RunRecord::ok, and (for clean runs with a recorded history) the
+// sequential spec.
+OracleVerdict judge(const RunRecord& rec,
+                    const std::shared_ptr<const SequentialSpec>& spec,
+                    const std::shared_ptr<HistoryRecorder>& history) {
+  OracleVerdict v;
+  if (!rec.ok()) {
+    v.violated = true;
+    if (!rec.error.empty()) {
+      v.why = "error: " + rec.error;
+    } else if (rec.timed_out) {
+      v.why = "timed out (liveness)";
+    } else if (rec.validated && !rec.valid) {
+      v.why = "task violation: " + rec.why;
+    } else {
+      v.why = "undecided correct process (liveness)";
+    }
+    return v;
+  }
+  if (spec && history) {
+    const std::vector<Event> events = history->events();
+    if (events.size() > kSpecOpCap) {
+      v.spec_skipped = true;
+    } else if (!is_linearizable(events, *spec)) {
+      v.violated = true;
+      v.why = "history violates sequential spec (" +
+              std::to_string(events.size()) + " events)";
+    }
+  }
+  return v;
+}
+
+// One search run: stamp the schedule, attach the observation hooks, run.
+RunRecord run_schedule(const ExperimentCell& base, int index,
+                       const ScheduleSpec& schedule,
+                       std::shared_ptr<SchedulePolicy> policy,
+                       std::shared_ptr<HistoryRecorder> history) {
+  ExperimentCell cell = base;
+  cell.cell_index = index;
+  cell.schedule = schedule;
+  cell.policy_override = std::move(policy);
+  cell.record_schedule = true;
+  cell.history = std::move(history);
+  return run_cell(cell);
+}
+
+ScheduleSpec spec_for(const ExploreOptions& opts, std::uint64_t horizon,
+                      int index) {
+  ScheduleSpec s;
+  s.seed = opts.seed + static_cast<std::uint64_t>(index);
+  if (opts.policy == ExplorePolicy::kSeededRandom) {
+    s.kind = SchedulePolicyKind::kSeededRandom;
+  } else {
+    s.kind = SchedulePolicyKind::kPct;
+    s.pct_depth = opts.pct_depth;
+    s.pct_horizon = horizon;
+  }
+  return s;
+}
+
+}  // namespace
+
+RunRecord replay_trace(const ExperimentCell& cell,
+                       const ScheduleTrace& trace) {
+  ExperimentCell replay = cell;
+  ScheduleSpec s;
+  s.kind = SchedulePolicyKind::kScripted;
+  s.script = std::make_shared<const ScheduleTrace>(trace);
+  replay.schedule = std::move(s);
+  replay.policy_override = nullptr;
+  replay.record_schedule = true;
+  return run_cell(replay);
+}
+
+ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  const bool want_history =
+      options.spec && cell.mode == ExecutionMode::kDirect;
+
+  auto fails = [&](const std::vector<ThreadId>& grants,
+                   bool force) -> bool {
+    if (!force && result.replays >= options.max_replays) return false;
+    ++result.replays;
+    ExperimentCell candidate = cell;
+    candidate.policy_override = nullptr;
+    ScheduleSpec s;
+    s.kind = SchedulePolicyKind::kScripted;
+    s.script = std::make_shared<const ScheduleTrace>(ScheduleTrace{grants});
+    candidate.schedule = std::move(s);
+    candidate.record_schedule = false;
+    auto history =
+        want_history ? std::make_shared<HistoryRecorder>() : nullptr;
+    candidate.history = history;
+    const RunRecord rec = run_cell(candidate);
+    return judge(rec, options.spec, history).violated;
+  };
+
+  std::vector<ThreadId> current = failing.grants;
+  if (!fails(current, /*force=*/true)) {
+    // Not reproducible through scripted replay: hand the trace back
+    // unshrunk and say so.
+    result.trace = failing;
+    return result;
+  }
+
+  // ddmin (Zeller & Hildebrandt): remove chunks at doubling granularity
+  // until no single-element removal preserves the failure.
+  std::size_t n = 2;
+  while (current.size() >= 2 && result.replays < options.max_replays) {
+    const std::size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<ThreadId> candidate;
+      candidate.reserve(current.size());
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<long>(start));
+      const std::size_t stop = std::min(start + chunk, current.size());
+      candidate.insert(candidate.end(),
+                       current.begin() + static_cast<long>(stop),
+                       current.end());
+      if (fails(candidate, /*force=*/false)) {
+        current = std::move(candidate);
+        n = std::max<std::size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) break;  // granularity 1: locally minimal
+      n = std::min(n * 2, current.size());
+    }
+  }
+
+  result.trace = ScheduleTrace{std::move(current)};
+  // The shrinker's guarantee: the artifact it hands back has just been
+  // seen failing, one final replay, budget-exempt.
+  result.verified = fails(result.trace.grants, /*force=*/true);
+  return result;
+}
+
+ExploreResult explore(const ExperimentCell& cell,
+                      const ExploreOptions& options) {
+  if (cell.options.mode != SchedulerMode::kLockstep) {
+    throw ProtocolError(
+        "explore needs a lock-step cell: free-mode schedules are not "
+        "controllable");
+  }
+  if (options.budget < 1) {
+    throw ProtocolError("explore needs budget >= 1");
+  }
+  if (options.shards > 0) {
+    if (options.policy == ExplorePolicy::kBoundedDfs) {
+      throw ProtocolError(
+          "bounded-DFS search carries its tree across runs and cannot "
+          "shard; use --policy random|pct for distributed exploration");
+    }
+    if (options.spec) {
+      throw ProtocolError(
+          "the sequential-spec oracle observes in-process history and "
+          "cannot shard");
+    }
+  }
+
+  ExploreResult result;
+  result.policy = options.policy;
+
+  const bool want_history =
+      options.spec != nullptr && cell.mode == ExecutionMode::kDirect;
+
+  auto handle_violation = [&](int index, RunRecord rec,
+                              const std::string& why) {
+    ExploreViolation v;
+    v.schedule_index = index;
+    v.why = why;
+    if (rec.schedule_trace) v.trace = *rec.schedule_trace;
+    v.record = std::move(rec);
+    if (options.shrink_violations && !v.trace.empty()) {
+      ShrinkOptions so;
+      so.max_replays = options.shrink_budget;
+      so.spec = options.spec;
+      ShrinkResult sr = shrink(cell, v.trace, so);
+      v.shrunk = std::move(sr.trace);
+      v.shrunk_verified = sr.verified;
+      v.shrink_replays = sr.replays;
+    } else {
+      v.shrunk = v.trace;
+    }
+    result.violations.push_back(std::move(v));
+    return options.max_violations > 0 &&
+           static_cast<int>(result.violations.size()) >=
+               options.max_violations;
+  };
+
+  // PCT horizon: probe the cell once under its own seed to learn a
+  // realistic schedule length (the declared step limit is usually orders
+  // of magnitude larger, which would starve the change points). The
+  // probe is a real run: if the bug shows under the plain seeded
+  // schedule at the base seed, that IS a violation (schedule_index -1),
+  // not a measurement to discard.
+  std::uint64_t horizon = options.pct_horizon;
+  if (options.policy == ExplorePolicy::kPct && horizon == 0) {
+    ScheduleSpec probe;
+    probe.kind = SchedulePolicyKind::kSeededRandom;
+    probe.seed = options.seed;
+    auto history =
+        want_history ? std::make_shared<HistoryRecorder>() : nullptr;
+    RunRecord rec = run_schedule(cell, -1, probe, nullptr, history);
+    horizon = std::max<std::uint64_t>(rec.steps, 8);
+    result.total_steps += rec.steps;
+    const OracleVerdict v = judge(rec, options.spec, history);
+    if (v.spec_skipped) ++result.skipped_spec_checks;
+    if (v.violated && handle_violation(-1, std::move(rec), v.why)) {
+      result.pct_horizon = horizon;
+      return result;
+    }
+  }
+  result.pct_horizon = horizon;
+
+  if (options.shards > 0) {
+    // Declarative fan-out: one cell per schedule, shipped over the shard
+    // wire like any experiment grid.
+    std::vector<ExperimentCell> cells;
+    cells.reserve(static_cast<std::size_t>(options.budget));
+    for (int i = 0; i < options.budget; ++i) {
+      ExperimentCell c = cell;
+      c.cell_index = i;
+      c.schedule = spec_for(options, horizon, i);
+      c.policy_override = nullptr;
+      c.record_schedule = true;
+      c.history = nullptr;
+      cells.push_back(std::move(c));
+    }
+    BatchOptions batch;
+    batch.shards = options.shards;
+    batch.worker_argv = options.worker_argv;
+    batch.threads = options.threads;
+    const Report report = BatchRunner(batch).run(cells);
+    for (const RunRecord& rec : report.records) {
+      ++result.schedules;
+      result.total_steps += rec.steps;
+      if (rec.cell_index == 0 && rec.schedule_trace) {
+        result.first_trace = *rec.schedule_trace;
+      }
+      const OracleVerdict v = judge(rec, nullptr, nullptr);
+      if (v.violated &&
+          handle_violation(rec.cell_index, rec, v.why)) {
+        break;
+      }
+    }
+    return result;
+  }
+
+  // In-process sequential search. Bounded DFS shares one policy object
+  // across runs; random/PCT rebuild a fresh policy per schedule.
+  std::shared_ptr<BoundedDfsPolicy> dfs;
+  if (options.policy == ExplorePolicy::kBoundedDfs) {
+    dfs = std::make_shared<BoundedDfsPolicy>(options.dfs_preemption_bound,
+                                             options.dfs_max_depth);
+  }
+  for (int i = 0; i < options.budget; ++i) {
+    ScheduleSpec schedule;  // kDefault under DFS (override wins)
+    if (!dfs) schedule = spec_for(options, horizon, i);
+    if (dfs && i > 0 && !dfs->advance()) {
+      result.exhausted = true;
+      break;
+    }
+    auto history =
+        want_history ? std::make_shared<HistoryRecorder>() : nullptr;
+    RunRecord rec = run_schedule(cell, i, schedule, dfs, history);
+    ++result.schedules;
+    result.total_steps += rec.steps;
+    if (i == 0 && rec.schedule_trace) result.first_trace = *rec.schedule_trace;
+    const OracleVerdict v = judge(rec, options.spec, history);
+    if (v.spec_skipped) ++result.skipped_spec_checks;
+    if (v.violated && handle_violation(i, std::move(rec), v.why)) break;
+  }
+  if (dfs) {
+    result.pruned_prefixes = dfs->pruned_prefixes();
+    result.exhausted = result.exhausted || dfs->exhausted();
+  }
+  return result;
+}
+
+Json ExploreResult::to_json(bool include_traces) const {
+  Json j = Json::object();
+  j.set("policy", to_string(policy))
+      .set("schedules", schedules)
+      .set("exhausted", exhausted)
+      .set("found", found())
+      .set("violations", static_cast<std::int64_t>(violations.size()))
+      .set("total_steps", static_cast<std::int64_t>(total_steps))
+      .set("pct_horizon", static_cast<std::int64_t>(pct_horizon))
+      .set("pruned_prefixes", static_cast<std::int64_t>(pruned_prefixes))
+      .set("skipped_spec_checks", skipped_spec_checks);
+  Json arr = Json::array();
+  for (const ExploreViolation& v : violations) {
+    Json vj = Json::object();
+    vj.set("schedule_index", v.schedule_index)
+        .set("why", v.why)
+        .set("trace_len", static_cast<std::int64_t>(v.trace.size()))
+        .set("trace_digest", v.trace.digest())
+        .set("shrunk_len", static_cast<std::int64_t>(v.shrunk.size()))
+        .set("shrunk_digest", v.shrunk.digest())
+        .set("shrunk_verified", v.shrunk_verified)
+        .set("shrink_replays", v.shrink_replays);
+    if (include_traces) {
+      vj.set("trace", v.trace.to_json())
+          .set("shrunk_trace", v.shrunk.to_json());
+    }
+    vj.set("record", v.record.to_json(/*include_timing=*/false));
+    arr.push(std::move(vj));
+  }
+  j.set("violation_details", std::move(arr));
+  return j;
+}
+
+std::string ExploreResult::summary() const {
+  std::string s = std::string(to_string(policy)) + ": " +
+                  std::to_string(schedules) + " schedule(s)";
+  if (exhausted) s += " (exhausted)";
+  if (violations.empty()) {
+    s += ", no violations";
+    return s;
+  }
+  s += ", " + std::to_string(violations.size()) + " violation(s)";
+  const ExploreViolation& v = violations.front();
+  s += "; first: " + v.why + ", trace " + std::to_string(v.trace.size()) +
+       " -> " + std::to_string(v.shrunk.size()) + " grants" +
+       (v.shrunk_verified ? " (verified)" : " (UNVERIFIED)");
+  return s;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,147 @@
+// Explorer: adversarial schedule search over one experiment cell, plus
+// the delta-debugging counterexample shrinker.
+//
+// The paper's simulations are correct only across ALL interleavings; a
+// seeded grid samples one schedule per cell. The explorer runs the SAME
+// cell under many schedules — seeded-random sampling, PCT probabilistic
+// priority schedules, or systematic bounded-DFS enumeration — and feeds
+// every run through two oracles:
+//
+//   * the cell's task relation (RunRecord::ok — liveness + validity +
+//     agreement, exactly what the batch runner already checks), and
+//   * optionally a SequentialSpec (src/history/linearizability.h) over
+//     the HistoryRecorder events the direct-mode run produced.
+//
+// A run failing either oracle is a VIOLATION; its recorded grant trace
+// is the counterexample. shrink() then minimizes it: ddmin over the
+// grant list, replaying each candidate through the Scripted policy.
+// Because scripted replay skips unmatched entries and falls back to the
+// lowest runnable thread, every subsequence of a trace is a valid
+// schedule, so the result is locally minimal — no single grant can be
+// dropped without losing the failure — and is re-verified by one final
+// replay.
+//
+// Scaling: random/PCT searches are embarrassingly parallel — each
+// schedule is a declarative ScheduleSpec, so explore batches fan out
+// over the existing shard wire protocol (src/dist/) exactly like
+// experiment grids. Bounded DFS carries its search tree across runs and
+// is in-process only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/experiment/experiment.h"
+#include "src/explore/policy.h"
+#include "src/explore/trace.h"
+#include "src/history/linearizability.h"
+
+namespace mpcn {
+
+// Search strategy. Distinct from SchedulePolicyKind: bounded DFS is not
+// a wire-serializable per-run policy (its state is the search tree), so
+// it exists only here.
+enum class ExplorePolicy { kSeededRandom, kPct, kBoundedDfs };
+
+const char* to_string(ExplorePolicy policy);
+ExplorePolicy explore_policy_from_string(const std::string& s);
+
+struct ExploreOptions {
+  ExplorePolicy policy = ExplorePolicy::kPct;
+  // Base seed: schedule i runs under seed + i (random/PCT).
+  std::uint64_t seed = 1;
+  // Max schedules to run; DFS may exhaust its bounded tree earlier.
+  int budget = 200;
+  // Stop after this many violations (0 = collect all within budget).
+  int max_violations = 1;
+
+  int pct_depth = 3;
+  // 0 = probe: one seeded-random run measures a realistic horizon
+  // (its step count) before the search fans out.
+  std::uint64_t pct_horizon = 0;
+
+  int dfs_preemption_bound = 2;
+  std::size_t dfs_max_depth = 4096;
+
+  bool shrink_violations = true;
+  int shrink_budget = 400;  // max replays per violation
+
+  // Optional linearizability oracle over the run's recorded history
+  // (direct-mode cells; in-process only). Histories longer than the
+  // checker's 64-operation cap are skipped and counted.
+  std::shared_ptr<const SequentialSpec> spec;
+
+  // > 0: fan the schedule batch out over worker subprocesses through
+  // src/dist/ (random/PCT only; requires a registry-named cell).
+  int shards = 0;
+  std::vector<std::string> worker_argv;  // empty = fork workers
+  int threads = 0;                       // in-process pool when sharded
+};
+
+struct ExploreViolation {
+  int schedule_index = -1;  // which schedule of the search found it
+  RunRecord record;         // the failing run (schedule fields populated)
+  std::string why;          // oracle explanation
+  ScheduleTrace trace;      // the counterexample schedule
+  ScheduleTrace shrunk;     // == trace when shrinking is off or failed
+  bool shrunk_verified = false;  // the shrunk trace re-failed on replay
+  int shrink_replays = 0;
+};
+
+struct ExploreResult {
+  ExplorePolicy policy = ExplorePolicy::kPct;
+  int schedules = 0;          // search runs executed (probe excluded)
+  bool exhausted = false;     // DFS enumerated its whole bounded tree
+  std::uint64_t total_steps = 0;
+  std::uint64_t pct_horizon = 0;      // horizon actually used
+  std::uint64_t pruned_prefixes = 0;  // DFS visited-set hits
+  int skipped_spec_checks = 0;  // histories over the 64-op checker cap
+  // Observed grant trace of schedule #0 — the record side of the CLI's
+  // --record / --replay byte-identity loop.
+  ScheduleTrace first_trace;
+  std::vector<ExploreViolation> violations;
+
+  bool found() const { return !violations.empty(); }
+
+  Json to_json(bool include_traces = true) const;
+  std::string summary() const;
+};
+
+// Run the search. `cell` is one executable cell (Experiment::cells());
+// its schedule/policy fields are overridden per run. Throws
+// ProtocolError on unusable configurations (sharded DFS, sharded spec
+// oracle, non-lock-step cells).
+ExploreResult explore(const ExperimentCell& cell,
+                      const ExploreOptions& options);
+
+// Replay one explicit schedule against the cell (Scripted policy, trace
+// recording on). The returned record's schedule_trace is the OBSERVED
+// grant trace — byte-identical to `trace` when the run is deterministic
+// and the trace was recorded from this cell, which is what the CI
+// record -> replay `cmp` leg pins.
+RunRecord replay_trace(const ExperimentCell& cell,
+                       const ScheduleTrace& trace);
+
+struct ShrinkOptions {
+  int max_replays = 400;
+  // Same optional oracle as ExploreOptions::spec: candidates count as
+  // failing if the record fails OR the recorded history violates the
+  // spec.
+  std::shared_ptr<const SequentialSpec> spec;
+};
+
+struct ShrinkResult {
+  ScheduleTrace trace;   // locally-minimal failing trace
+  int replays = 0;       // replays spent (including final verification)
+  bool verified = false; // final replay of `trace` still failed
+};
+
+// ddmin the failing trace to a locally-minimal counterexample. If
+// `failing` does not reproduce the failure on the first replay, returns
+// it unchanged with verified = false.
+ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
+                    const ShrinkOptions& options = {});
+
+}  // namespace mpcn

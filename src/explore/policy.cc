@@ -1,0 +1,223 @@
+#include "src/explore/policy.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+// ------------------------------------------------------- SeededRandom
+
+std::size_t SeededRandomPolicy::pick(const std::vector<ThreadId>& runnable,
+                                     std::uint64_t) {
+  // One index() draw per grant over the runnable count — the exact call
+  // sequence of the controller's built-in path, hence byte-identical
+  // traces for equal seeds.
+  return rng_.index(runnable.size());
+}
+
+// ----------------------------------------------------------- Scripted
+
+ScriptedPolicy::ScriptedPolicy(std::shared_ptr<const ScheduleTrace> script)
+    : script_(std::move(script)) {
+  if (!script_) throw ProtocolError("ScriptedPolicy needs a script trace");
+}
+
+std::size_t ScriptedPolicy::pick(const std::vector<ThreadId>& runnable,
+                                 std::uint64_t) {
+  const std::vector<ThreadId>& grants = script_->grants;
+  while (pos_ < grants.size()) {
+    const ThreadId want = grants[pos_];
+    ++pos_;
+    const auto it = std::find(runnable.begin(), runnable.end(), want);
+    if (it != runnable.end()) {
+      return static_cast<std::size_t>(it - runnable.begin());
+    }
+    ++skipped_;
+  }
+  ++fallback_;
+  return 0;  // lowest runnable ThreadId (runnable is sorted)
+}
+
+// ---------------------------------------------------------------- PCT
+
+PctPolicy::PctPolicy(std::uint64_t seed, int depth, std::uint64_t horizon)
+    : rng_(seed) {
+  if (depth < 1) throw ProtocolError("PctPolicy needs depth >= 1");
+  if (horizon == 0) throw ProtocolError("PctPolicy needs horizon > 0");
+  // d - 1 distinct change points from [1, horizon).
+  const std::uint64_t want = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(depth - 1), horizon - 1);
+  while (change_points_.size() < want) {
+    change_points_.insert(
+        1 + static_cast<std::uint64_t>(
+                rng_.index(static_cast<std::size_t>(horizon - 1))));
+  }
+}
+
+std::size_t PctPolicy::pick(const std::vector<ThreadId>& runnable,
+                            std::uint64_t) {
+  // Assign a random high priority on first sight. Thread appearance
+  // order is schedule-deterministic, so priorities replay with the seed.
+  for (const ThreadId& t : runnable) {
+    if (priority_.find(t) == priority_.end()) {
+      priority_[t] =
+          (1ull << 32) + static_cast<std::uint64_t>(rng_.index(1u << 20));
+    }
+  }
+  auto leader = [&] {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < runnable.size(); ++i) {
+      // Ties break toward the lower ThreadId (earlier index).
+      if (priority_[runnable[i]] > priority_[runnable[best]]) best = i;
+    }
+    return best;
+  };
+  if (change_points_.count(grants_)) {
+    // Drop the current leader below every priority handed out so far
+    // (and below earlier drops: next_low_ descends).
+    priority_[runnable[leader()]] = next_low_--;
+  }
+  ++grants_;
+  return leader();
+}
+
+// --------------------------------------------------------- BoundedDfs
+
+BoundedDfsPolicy::BoundedDfsPolicy(int preemption_bound,
+                                   std::size_t max_depth)
+    : bound_(preemption_bound), max_depth_(max_depth) {
+  if (preemption_bound < 0) {
+    throw ProtocolError("BoundedDfsPolicy needs preemption_bound >= 0");
+  }
+}
+
+std::size_t BoundedDfsPolicy::default_choice(const Node& n) {
+  return n.cont == kNoCont ? 0 : n.cont;
+}
+
+std::size_t BoundedDfsPolicy::option_for_rank(const Node& n,
+                                              std::size_t rank) {
+  const std::size_t def = default_choice(n);
+  if (rank == 0) return def;
+  // Rank r > 0 walks the non-default indices in increasing order.
+  std::size_t idx = rank - 1;
+  if (idx >= def) ++idx;
+  return idx;
+}
+
+std::string BoundedDfsPolicy::prefix_digest() const {
+  ScheduleTrace prefix;
+  prefix.grants.reserve(prefix_len_);
+  for (std::size_t i = 0; i < prefix_len_; ++i) {
+    prefix.grants.push_back(path_[i].options[path_[i].chosen]);
+  }
+  return prefix.digest();
+}
+
+std::size_t BoundedDfsPolicy::pick(const std::vector<ThreadId>& runnable,
+                                   std::uint64_t) {
+  // Continuation option: the previous holder, if still runnable.
+  std::size_t cont = kNoCont;
+  if (has_last_) {
+    const auto it =
+        std::find(runnable.begin(), runnable.end(), last_granted_);
+    if (it != runnable.end()) {
+      cont = static_cast<std::size_t>(it - runnable.begin());
+    }
+  }
+
+  std::size_t choice;
+  if (cursor_ < prefix_len_ && !diverged_) {
+    // Replay the prefix by granted THREAD, not by index: the runnable
+    // set must contain the recorded grant, but may otherwise differ.
+    Node& n = path_[cursor_];
+    const ThreadId want = n.options[n.chosen];
+    const auto it = std::find(runnable.begin(), runnable.end(), want);
+    if (it == runnable.end()) {
+      diverged_ = true;
+      choice = cont == kNoCont ? 0 : cont;
+    } else {
+      choice = static_cast<std::size_t>(it - runnable.begin());
+      // Refresh the node against this run's observed reality.
+      n.options = runnable;
+      n.chosen = choice;
+      n.cont = cont;
+      n.preemptions_before = preemptions_used_;
+    }
+  } else if (!diverged_ && path_.size() < max_depth_ &&
+             cursor_ == path_.size()) {
+    // Extend the tree with the non-preemptive default.
+    Node n;
+    n.options = runnable;
+    n.cont = cont;
+    n.rank = 0;
+    n.chosen = default_choice(n);
+    n.preemptions_before = preemptions_used_;
+    choice = n.chosen;
+    path_.push_back(std::move(n));
+  } else {
+    // Past the recorded tree (max depth or divergence): run
+    // non-preemptively without recording.
+    choice = cont == kNoCont ? 0 : cont;
+  }
+
+  if (cont != kNoCont && choice != cont) ++preemptions_used_;
+  has_last_ = true;
+  last_granted_ = runnable[choice];
+  ++cursor_;
+  return choice;
+}
+
+bool BoundedDfsPolicy::advance() {
+  if (exhausted_) return false;
+  while (!path_.empty()) {
+    Node& n = path_.back();
+    bool advanced = false;
+    while (n.rank + 1 < n.options.size()) {
+      ++n.rank;
+      const std::size_t idx = option_for_rank(n, n.rank);
+      const int cost = (n.cont != kNoCont && idx != n.cont) ? 1 : 0;
+      if (n.preemptions_before + cost > bound_) continue;
+      n.chosen = idx;
+      advanced = true;
+      break;
+    }
+    if (advanced) {
+      prefix_len_ = path_.size();
+      if (!visited_.insert(prefix_digest()).second) {
+        ++pruned_;
+        continue;  // try this node's next alternative
+      }
+      cursor_ = 0;
+      preemptions_used_ = 0;
+      has_last_ = false;
+      diverged_ = false;
+      return true;
+    }
+    path_.pop_back();
+  }
+  exhausted_ = true;
+  return false;
+}
+
+// ------------------------------------------------------------ factory
+
+std::unique_ptr<SchedulePolicy> make_policy(const ScheduleSpec& spec,
+                                            std::uint64_t cell_seed) {
+  const std::uint64_t seed = spec.seed != 0 ? spec.seed : cell_seed;
+  switch (spec.kind) {
+    case SchedulePolicyKind::kDefault:
+      return nullptr;
+    case SchedulePolicyKind::kSeededRandom:
+      return std::make_unique<SeededRandomPolicy>(seed);
+    case SchedulePolicyKind::kScripted:
+      return std::make_unique<ScriptedPolicy>(spec.script);
+    case SchedulePolicyKind::kPct:
+      return std::make_unique<PctPolicy>(seed, spec.pct_depth,
+                                         spec.pct_horizon);
+  }
+  throw ProtocolError("unknown SchedulePolicyKind");
+}
+
+}  // namespace mpcn

@@ -1,0 +1,144 @@
+// Concrete grant policies for the schedule explorer (seam:
+// src/runtime/schedule_policy.h).
+//
+//   SeededRandomPolicy — uniform draw from a seeded RNG: byte-identical
+//     to the LockstepController's built-in schedule for the same seed
+//     (pinned by explore_test), so plugging the seam in changes nothing
+//     until a different policy is chosen.
+//   ScriptedPolicy — replay an explicit ScheduleTrace. Entries that name
+//     a thread not currently runnable are skipped; an exhausted script
+//     falls back to the lowest runnable ThreadId. Both rules are
+//     deterministic, which is what makes every *subsequence* of a
+//     recorded trace a valid schedule — the property the delta-debugging
+//     shrinker (explorer.h) relies on.
+//   PctPolicy — probabilistic concurrency testing (Burckhardt et al.):
+//     random per-thread priorities, highest-priority runnable thread
+//     runs, and at d-1 pre-drawn step indices the current leader's
+//     priority drops below everything else. For a bug of depth d and
+//     horizon k, one run finds it with probability >= 1/(n * k^(d-1)).
+//   BoundedDfsPolicy — systematic enumeration of schedules under a
+//     preemption bound (CHESS-style). Stateful ACROSS runs: each run
+//     replays the current choice prefix and extends it non-preemptively;
+//     advance() backtracks to the next unexplored branch. A visited-
+//     prefix digest set prunes re-exploration when nondeterminism at the
+//     run boundary replays a prefix twice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/explore/trace.h"
+#include "src/runtime/schedule_policy.h"
+
+namespace mpcn {
+
+class SeededRandomPolicy : public SchedulePolicy {
+ public:
+  explicit SeededRandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::size_t pick(const std::vector<ThreadId>& runnable,
+                   std::uint64_t step) override;
+
+ private:
+  Rng rng_;
+};
+
+class ScriptedPolicy : public SchedulePolicy {
+ public:
+  explicit ScriptedPolicy(std::shared_ptr<const ScheduleTrace> script);
+  std::size_t pick(const std::vector<ThreadId>& runnable,
+                   std::uint64_t step) override;
+
+  // Diagnostics: script entries skipped because the named thread was not
+  // runnable, and grants issued after the script ran out.
+  std::size_t skipped() const { return skipped_; }
+  std::size_t fallback_grants() const { return fallback_; }
+
+ private:
+  const std::shared_ptr<const ScheduleTrace> script_;
+  std::size_t pos_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t fallback_ = 0;
+};
+
+class PctPolicy : public SchedulePolicy {
+ public:
+  // depth >= 1 priority levels to inject (d - 1 change points); horizon
+  // > 0 is the step range the change points are drawn from.
+  PctPolicy(std::uint64_t seed, int depth, std::uint64_t horizon);
+  std::size_t pick(const std::vector<ThreadId>& runnable,
+                   std::uint64_t step) override;
+
+ private:
+  Rng rng_;
+  std::set<std::uint64_t> change_points_;  // step indices
+  std::map<ThreadId, std::uint64_t> priority_;
+  // Dropped-leader priorities descend from here; initial priorities all
+  // sit above 1 << 32, so every drop lands below every initial value.
+  std::uint64_t next_low_ = 1ull << 31;
+  std::uint64_t grants_ = 0;
+};
+
+class BoundedDfsPolicy : public SchedulePolicy {
+ public:
+  // preemption_bound: max schedule points where a runnable previous
+  // holder is NOT continued. max_depth bounds the recorded choice tree
+  // (deeper grants run non-preemptively and are not backtracked into).
+  explicit BoundedDfsPolicy(int preemption_bound,
+                            std::size_t max_depth = 4096);
+
+  std::size_t pick(const std::vector<ThreadId>& runnable,
+                   std::uint64_t step) override;
+
+  // Move to the next unexplored schedule prefix; false once the bounded
+  // tree is exhausted. Call BETWEEN runs (after the run driven by the
+  // current prefix has completed).
+  bool advance();
+
+  bool exhausted() const { return exhausted_; }
+  // True if the latest run failed to replay its prefix (the workload was
+  // not schedule-deterministic); the run's tail ran non-preemptively.
+  bool diverged() const { return diverged_; }
+  std::uint64_t pruned_prefixes() const { return pruned_; }
+
+ private:
+  struct Node {
+    std::vector<ThreadId> options;  // runnable set at this choice point
+    std::size_t chosen = 0;         // index into options
+    std::size_t rank = 0;           // position in the node's try-order
+    std::size_t cont = kNoCont;     // index of the continuation option
+    int preemptions_before = 0;
+  };
+  static constexpr std::size_t kNoCont = static_cast<std::size_t>(-1);
+
+  static std::size_t default_choice(const Node& n);
+  // Option index for try-order position `rank` (0 = default).
+  static std::size_t option_for_rank(const Node& n, std::size_t rank);
+  std::string prefix_digest() const;
+
+  const int bound_;
+  const std::size_t max_depth_;
+  std::vector<Node> path_;
+  std::size_t prefix_len_ = 0;  // nodes [0, prefix_len_) replay `chosen`
+  std::size_t cursor_ = 0;      // position within the current run
+  int preemptions_used_ = 0;
+  bool has_last_ = false;
+  ThreadId last_granted_{};
+  bool diverged_ = false;
+  bool exhausted_ = false;
+  std::set<std::string> visited_;
+  std::uint64_t pruned_ = 0;
+};
+
+// Materialize a policy from its declarative spec. kDefault returns null
+// (keep the controller's built-in schedule). `cell_seed` substitutes for
+// spec.seed == 0. Throws ProtocolError on an unusable spec (scripted
+// without a script, pct without a horizon).
+std::unique_ptr<SchedulePolicy> make_policy(const ScheduleSpec& spec,
+                                            std::uint64_t cell_seed);
+
+}  // namespace mpcn

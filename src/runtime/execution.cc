@@ -40,7 +40,9 @@ Execution::Execution(std::vector<Program> programs, std::vector<Value> inputs,
   }
   if (options_.mode == SchedulerMode::kLockstep) {
     controller_ = std::make_unique<LockstepController>(
-        options_.seed, options_.step_limit, options_.wait);
+        options_.seed, options_.step_limit, options_.wait,
+        options_.schedule_policy);
+    if (options_.record_schedule) controller_->enable_grant_trace();
   } else {
     controller_ = std::make_unique<FreeController>(options_.step_limit);
   }
@@ -151,6 +153,10 @@ Outcome Execution::run() {
   for (std::thread& t : threads) t.join();
 
   if (error_) std::rethrow_exception(error_);
+  if (auto* lockstep = dynamic_cast<LockstepController*>(controller_.get())) {
+    const std::string policy_error = lockstep->policy_error();
+    if (!policy_error.empty()) throw ProtocolError(policy_error);
+  }
 
   Outcome out;
   out.decisions = decisions_;

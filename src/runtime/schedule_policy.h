@@ -1,0 +1,46 @@
+// SchedulePolicy: the pluggable WHO-runs-next seam of the lock-step
+// scheduler.
+//
+// The LockstepController (step_controller.h) grants the step token only
+// when every live thread is parked; WHICH thread it grants is, by
+// default, a uniform draw from its seeded RNG. A SchedulePolicy replaces
+// that draw: given the (ordered) runnable set and the global step clock,
+// pick the next grant. This is the whole surface the schedule-exploration
+// subsystem (src/explore/) needs — replaying recorded traces, PCT
+// priority schedules and bounded-DFS enumeration are all just different
+// pick() implementations.
+//
+// Contract:
+//   * pick() is called with the controller mutex held, exactly once per
+//     grant, with `runnable` sorted by ThreadId (std::set iteration
+//     order) and non-empty. `step` is the number of completed steps at
+//     grant time (the grant's position in the schedule).
+//   * The returned index must be < runnable.size(). Grants fire inside
+//     StepGuard destructors and cannot throw, so an out-of-range pick is
+//     clamped to keep the run live, latched as
+//     LockstepController::policy_error(), and surfaced by Execution::run
+//     as ProtocolError once the run completes — the experiment layer
+//     captures it as a per-cell error (a buggy policy fails loudly, it
+//     does not silently reshape the schedule).
+//   * The controller serializes all pick() calls, so policies need no
+//     internal locking; stateful policies (scripts, DFS prefixes) just
+//     advance a cursor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace mpcn {
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  // Index into `runnable` of the thread to grant the step token to.
+  virtual std::size_t pick(const std::vector<ThreadId>& runnable,
+                           std::uint64_t step) = 0;
+};
+
+}  // namespace mpcn

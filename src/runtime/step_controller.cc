@@ -30,8 +30,10 @@ std::uint64_t FreeController::steps() const {
 
 LockstepController::LockstepController(std::uint64_t seed,
                                        std::uint64_t step_limit,
-                                       WaitStrategy wait)
+                                       WaitStrategy wait,
+                                       std::shared_ptr<SchedulePolicy> policy)
     : rng_(seed),
+      policy_(std::move(policy)),
       step_limit_(step_limit),
       wait_(wait),
       waiter_(make_token_waiter(wait)),
@@ -78,9 +80,28 @@ ParkFlag* LockstepController::maybe_grant() {
   // draw uniformly. std::set iteration is ordered, so the draw depends
   // only on the RNG state and the (deterministic) set contents.
   if (parked_.empty() || parked_.size() != alive_.size()) return nullptr;
-  auto it = parked_.begin();
-  std::advance(it, static_cast<long>(rng_.index(parked_.size())));
-  holder_ = *it;
+  if (policy_) {
+    // Pluggable adversary: hand the sorted runnable set to the policy.
+    const std::vector<ThreadId> runnable(parked_.begin(), parked_.end());
+    std::size_t idx = policy_->pick(runnable, steps_);
+    if (idx >= runnable.size()) {
+      // Cannot throw here: grants fire from release(), i.e. from inside
+      // StepGuard destructors. Record the fault, keep the run live with a
+      // clamped grant, and let Execution::run surface it afterwards.
+      if (policy_error_.empty()) {
+        policy_error_ = "SchedulePolicy::pick returned index " +
+                        std::to_string(idx) + " for a runnable set of " +
+                        std::to_string(runnable.size()) + " at step " +
+                        std::to_string(steps_);
+      }
+      idx = runnable.size() - 1;
+    }
+    holder_ = runnable[idx];
+  } else {
+    auto it = parked_.begin();
+    std::advance(it, static_cast<long>(rng_.index(parked_.size())));
+    holder_ = *it;
+  }
   has_holder_ = true;
   if (trace_) {
     grant_trace_.push_back(holder_);
@@ -189,6 +210,11 @@ bool LockstepController::timed_out() const {
 std::uint64_t LockstepController::steps() const {
   std::lock_guard<std::mutex> lk(m_);
   return steps_;
+}
+
+std::string LockstepController::policy_error() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return policy_error_;
 }
 
 std::vector<ThreadId> LockstepController::grant_trace() const {

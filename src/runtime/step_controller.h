@@ -37,6 +37,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/rng.h"
+#include "src/runtime/schedule_policy.h"
 #include "src/runtime/wait_strategy.h"
 
 namespace mpcn {
@@ -98,8 +99,12 @@ class FreeController : public StepController {
 // Deterministic lock-step controller (see file comment).
 class LockstepController : public StepController {
  public:
+  // `policy` overrides the built-in seeded uniform draw (schedule_policy.h).
+  // Null keeps the historical RNG path, byte-identical to pre-policy
+  // builds — the SeededRandom explore policy reproduces it exactly.
   LockstepController(std::uint64_t seed, std::uint64_t step_limit,
-                     WaitStrategy wait = default_wait_strategy());
+                     WaitStrategy wait = default_wait_strategy(),
+                     std::shared_ptr<SchedulePolicy> policy = nullptr);
 
   SchedulerMode mode() const override { return SchedulerMode::kLockstep; }
   void enter(ThreadId tid) override;
@@ -116,6 +121,11 @@ class LockstepController : public StepController {
 
   WaitStrategy wait_strategy() const { return wait_; }
 
+  // Non-empty if the plugged SchedulePolicy misbehaved (out-of-range
+  // pick). Grants cannot throw (they fire inside StepGuard destructors),
+  // so the fault is latched here and surfaced by Execution::run.
+  std::string policy_error() const;
+
  private:
   // Grants the token if every live thread is parked and none holds it.
   // Caller must hold m_. Returns the slot of the thread to wake (nullptr
@@ -127,6 +137,7 @@ class LockstepController : public StepController {
 
   mutable std::mutex m_;
   Rng rng_;
+  const std::shared_ptr<SchedulePolicy> policy_;  // null = seeded RNG draw
   const std::uint64_t step_limit_;
   const WaitStrategy wait_;
   const std::unique_ptr<TokenWaiter> waiter_;
@@ -142,6 +153,7 @@ class LockstepController : public StepController {
   bool stop_ = false;
   bool timed_out_ = false;
   bool trace_ = false;
+  std::string policy_error_;
   std::vector<ThreadId> grant_trace_;
   std::vector<std::string> grant_sets_;
 };

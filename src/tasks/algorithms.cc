@@ -154,6 +154,49 @@ SimulatedAlgorithm snapshot_renaming_algorithm(int n, int t) {
   return a;
 }
 
+SimulatedAlgorithm racy_register_algorithm(int n, int warmup_rounds,
+                                           int reader_rounds) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, 0, 1};
+  a.model.validate();
+  if (n < 2) {
+    throw ProtocolError("racy_register_algorithm needs n >= 2 (a writer "
+                        "and at least one reader)");
+  }
+  if (warmup_rounds < 0 || reader_rounds < 1) {
+    throw ProtocolError(
+        "racy_register_algorithm needs warmup_rounds >= 0 and "
+        "reader_rounds >= 1");
+  }
+  // Process 0: the torn writer (see algorithms.h).
+  a.programs.push_back([warmup_rounds](SimContext& sc) {
+    const Value v = sc.input();
+    for (int r = 0; r < warmup_rounds; ++r) {
+      sc.write(Value::pair(v, v));
+    }
+    sc.write(Value::pair(v, Value(-1)));  // the torn intermediate state
+    sc.write(Value::pair(v, v));          // one step later: repaired
+    sc.decide(v);
+  });
+  // Processes 1..n-1: readers. A snapshot that catches cell 0 torn
+  // decides the bogus half — a value nobody proposed.
+  for (int j = 1; j < n; ++j) {
+    a.programs.push_back([reader_rounds](SimContext& sc) {
+      for (int r = 0; r < reader_rounds; ++r) {
+        const std::vector<Value> view = sc.snapshot();
+        const Value& cell0 = view[0];
+        if (cell0.is_list() && cell0.size() == 2 &&
+            !(cell0.at(0) == cell0.at(1))) {
+          sc.decide(cell0.at(1));
+          return;
+        }
+      }
+      sc.decide(sc.input());
+    });
+  }
+  return a;
+}
+
 SimulatedAlgorithm step_churn_algorithm(int n, int rounds) {
   SimulatedAlgorithm a;
   a.model = ModelSpec{n, 0, 1};

@@ -69,4 +69,19 @@ SimulatedAlgorithm snapshot_churn_algorithm(int n, int rounds);
 // bench_simulation_overhead.
 SimulatedAlgorithm step_churn_algorithm(int n, int rounds);
 
+// DELIBERATELY BUGGY exhibit for ASM(n, 0, 1), n >= 2: the schedule
+// explorer's known target (src/explore/). Process 0 publishes its input
+// as a [v, v] pair but performs the final publication as a TORN
+// two-step write — [v, -1] first, [v, v] one step later. Every other
+// process takes `reader_rounds` snapshots; a reader whose snapshot lands
+// inside the one-step torn window decides the bogus half (-1), which no
+// process proposed — a validity violation against k-set agreement.
+// `warmup_rounds` clean [v, v] writes pad the writer's timeline first,
+// so the torn window sits deep enough that seeded uniform schedules
+// essentially never catch a reader there (the readers' few snapshots
+// interleave near the front), while PCT priority drops and bounded-DFS
+// preemptions find it reliably.
+SimulatedAlgorithm racy_register_algorithm(int n, int warmup_rounds = 12,
+                                           int reader_rounds = 2);
+
 }  // namespace mpcn

@@ -12,6 +12,7 @@
 #include "src/cli/cli.h"
 #include "src/common/errors.h"
 #include "src/experiment/record.h"
+#include "src/experiment/registry.h"
 
 namespace mpcn {
 namespace {
@@ -96,12 +97,76 @@ TEST(Cli, UsageAndUnknownCommands) {
   EXPECT_NE(out.find("run <scenario>"), std::string::npos);
 }
 
-TEST(Cli, ListEnumeratesRegistry) {
+TEST(Cli, ListEnumeratesRegistryWithAxisColumns) {
   std::string out;
   ASSERT_EQ(run_cli({"mpcn", "list"}, &out), 0);
   EXPECT_NE(out.find("snapshot_churn"), std::string::npos);
   EXPECT_NE(out.find("trivial_kset"), std::string::npos);
-  EXPECT_NE(out.find("[colored]"), std::string::npos);
+  EXPECT_NE(out.find("colored"), std::string::npos);
+  EXPECT_NE(out.find("axis"), std::string::npos);
+  EXPECT_NE(out.find("x=1 t=0 n>=2"), std::string::npos);  // racy_register
+}
+
+TEST(Cli, ListJsonIsMachineReadable) {
+  std::string out;
+  ASSERT_EQ(run_cli({"mpcn", "list", "--json"}, &out), 0);
+  const Json arr = Json::parse(out);
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.size(), scenario_registry().size());
+  bool saw_racy = false;
+  for (const Json& j : arr.items()) {
+    EXPECT_TRUE(j.find("name") && j.find("axis") && j.find("colored") &&
+                j.find("has_task") && j.find("description"));
+    if (j.at("name").as_string() == "racy_register") {
+      saw_racy = true;
+      EXPECT_EQ(j.at("axis").as_string(), "x=1 t=0 n>=2");
+      EXPECT_TRUE(j.at("has_task").as_bool());
+      EXPECT_FALSE(j.at("colored").as_bool());
+    }
+  }
+  EXPECT_TRUE(saw_racy);
+}
+
+TEST(Cli, ExploreFindsSeededBugAndWritesReport) {
+  TempFile json("cli_explore_report.json");
+  std::string out;
+  // Exit 1 signals "violation found" (parallel to diff's regressions).
+  ASSERT_EQ(run_cli({"mpcn", "explore", "racy_register", "--in", "2,0,1",
+                     "--policy", "pct", "--budget", "200", "--seed", "1",
+                     "--json", json.path},
+                    &out),
+            1);
+  const Json report = Json::parse(slurp(json.path));
+  EXPECT_TRUE(report.at("found").as_bool());
+  EXPECT_EQ(report.at("policy").as_string(), "pct");
+  const Json& v = report.at("violation_details").at(0);
+  EXPECT_TRUE(v.at("shrunk_verified").as_bool());
+  EXPECT_LE(v.at("shrunk_len").as_int(), 14);
+}
+
+TEST(Cli, ExploreCleanScenarioExitsZero) {
+  std::string out;
+  ASSERT_EQ(run_cli({"mpcn", "explore", "snapshot_churn", "--in", "2,0,1",
+                     "--policy", "random", "--budget", "3"},
+                    &out),
+            0);
+}
+
+TEST(Cli, ExploreRecordReplayRoundTripsByteIdentically) {
+  TempFile t1("cli_trace_1.json");
+  TempFile t2("cli_trace_2.json");
+  ASSERT_EQ(run_cli({"mpcn", "explore", "racy_register", "--in", "2,0,1",
+                     "--policy", "random", "--budget", "1", "--seed", "7",
+                     "--record", t1.path}),
+            0);
+  std::string out;
+  ASSERT_EQ(run_cli({"mpcn", "explore", "racy_register", "--in", "2,0,1",
+                     "--replay", t1.path, "--record", t2.path},
+                    &out),
+            0);
+  EXPECT_NE(out.find("replay: ok"), std::string::npos) << out;
+  EXPECT_EQ(slurp(t1.path), slurp(t2.path));
+  EXPECT_FALSE(slurp(t1.path).empty());
 }
 
 TEST(Cli, RunRejectsBadInvocations) {

@@ -6,6 +6,8 @@
 
 #include "src/core/colored_engine.h"
 #include "src/core/pipeline.h"
+#include "src/experiment/experiment.h"
+#include "src/explore/explorer.h"
 #include "src/tasks/algorithms.h"
 
 namespace mpcn {
@@ -87,6 +89,47 @@ TEST(SeedSensitivity, DifferentSeedsDifferentSchedules) {
     step_totals.insert(out.steps);
   }
   EXPECT_GT(step_totals.size(), 1u);
+}
+
+// A recorded ScheduleTrace is a wait-strategy- and substrate-local
+// artifact that must replay byte-identically wherever it was recorded:
+// for every (wait strategy, mem backend) combination, record -> scripted
+// replay reproduces the identical record; and because the wait strategy
+// only changes HOW losers wait, the three strategies record the same
+// trace per backend.
+TEST(TraceReplayDeterminism, ByteIdenticalAcrossWaitStrategiesAndMems) {
+  const WaitStrategy waits[] = {WaitStrategy::kCondvar,
+                                WaitStrategy::kSpinPark, WaitStrategy::kSpin};
+  for (MemKind mem : {MemKind::kPrimitive, MemKind::kAfek}) {
+    std::string trace_digest_for_mem;
+    for (WaitStrategy w : waits) {
+      Experiment e = Experiment::named("snapshot_churn", ModelSpec{3, 0, 1});
+      e.direct().seed(5).mem(mem).wait_strategy(w).inputs_fn(
+          [](const ModelSpec& m) {
+            std::vector<Value> in;
+            for (int i = 0; i < m.n; ++i) in.push_back(Value(i));
+            return in;
+          });
+      ExperimentCell cell = e.cells().front();
+      cell.record_schedule = true;
+      const RunRecord recorded = run_cell(cell);
+      ASSERT_TRUE(recorded.schedule_trace) << to_string(w);
+
+      const RunRecord replayed =
+          replay_trace(cell, *recorded.schedule_trace);
+      EXPECT_EQ(replayed.to_json(false).dump(),
+                recorded.to_json(false).dump())
+          << "wait=" << to_string(w) << " mem=" << to_string(mem);
+
+      // Same grant schedule under every handoff mechanism.
+      if (trace_digest_for_mem.empty()) {
+        trace_digest_for_mem = recorded.schedule_digest;
+      } else {
+        EXPECT_EQ(recorded.schedule_digest, trace_digest_for_mem)
+            << "wait=" << to_string(w) << " mem=" << to_string(mem);
+      }
+    }
+  }
 }
 
 class ColoredDeterminism : public ::testing::TestWithParam<std::uint64_t> {};

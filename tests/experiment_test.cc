@@ -459,11 +459,16 @@ TEST(ReportMerge, RejectsConflictingDuplicates) {
   EXPECT_THROW(Report::merge({whole, extra}), ProtocolError);
 }
 
-TEST(ReportMerge, RejectsUnstampedRecords) {
+TEST(ReportMerge, ToleratesUnstampedRecordsByIdentity) {
+  // Pre-PR4 baseline reports carry no cell_index; merge keys them by
+  // record_identity instead of rejecting (full coverage in
+  // explore_test.cc's ReportMerge suite).
   RunRecord r;  // cell_index defaults to -1
   Report part;
   part.records = {r};
-  EXPECT_THROW(Report::merge({part}), ProtocolError);
+  const Report merged = Report::merge({part, part});  // exact duplicate
+  ASSERT_EQ(merged.records.size(), 1u);
+  EXPECT_EQ(merged.records[0].cell_index, -1);
 }
 
 }  // namespace

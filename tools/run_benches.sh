@@ -9,6 +9,7 @@
 #   BENCH_snapshot_ablation.json    (Google Benchmark --benchmark_format=json)
 #   BENCH_simulation_overhead.json  (Report JSON via the bench's --json flag)
 #   BENCH_scheduler_handoff.json    (Report JSON via the bench's --json flag)
+#   BENCH_explore_throughput.json   (schedules/sec + replay overhead rows)
 #
 # Keep these regenerated-and-committed when a PR claims a hot-path win, so
 # the trajectory across commits stays machine-readable.
@@ -53,6 +54,19 @@ if [[ "$SMOKE" != "1" ]]; then
   echo "== bench_scheduler_handoff"
   "$BUILD/bench_scheduler_handoff" \
       --json "$ROOT/BENCH_scheduler_handoff.json"
+fi
+
+# --- bench_explore_throughput: schedules/sec + replay overhead ----------
+# Cheap enough to run in smoke mode too (tiny budget), so the CI leg
+# exercises the JSON path end to end on every commit.
+if [[ "$SMOKE" == "1" ]]; then
+  echo "== bench_explore_throughput --budget 20"
+  "$BUILD/bench_explore_throughput" --budget 20 \
+      --json "$ROOT/BENCH_explore_throughput.json"
+else
+  echo "== bench_explore_throughput"
+  "$BUILD/bench_explore_throughput" \
+      --json "$ROOT/BENCH_explore_throughput.json"
 fi
 
 echo "wrote $(ls "$ROOT"/BENCH_*.json | xargs -n1 basename | tr '\n' ' ')"
