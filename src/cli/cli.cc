@@ -32,8 +32,9 @@ const char kUsage[] =
     "                               axis constraints, description)\n"
     "  run <scenario> --in n,t,x    expand and run an experiment grid\n"
     "  explore <scenario> --in ...  adversarial schedule search on one\n"
-    "                               cell (exit 1 when a violation is\n"
-    "                               found)\n"
+    "                               cell (exit 0 clean, 1 on a verdict\n"
+    "                               violation, 3 when the race oracle\n"
+    "                               fires)\n"
     "  worker [--max-cells N]       JSON-lines worker on stdin/stdout\n"
     "  diff <a.json> <b.json>       compare two reports (exit 1 on\n"
     "                               regressions)\n"
@@ -76,6 +77,9 @@ const char kUsage[] =
     "  --bound B         DFS preemption bound (default: 2)\n"
     "  --check-lin       also check direct-run histories against the\n"
     "                    snapshot sequential spec (in-process only)\n"
+    "  --check-races     run the happens-before race oracle over every\n"
+    "                    schedule (direct mode; shards fine; exit 3 when\n"
+    "                    a race is found)\n"
     "  --no-shrink       keep violating traces unshrunk\n"
     "  --shrink-budget R max replays per shrink (default: 400)\n"
     "  --record PATH     write the first schedule's observed trace JSON\n"
@@ -299,7 +303,7 @@ int cmd_explore(int argc, char** argv) {
              "policy", "budget", "seed", "max-violations", "pct-depth",
              "horizon", "bound", "shrink-budget", "record", "replay",
              "json", "shards", "threads"},
-            {"check-lin", "no-shrink", "fork-workers"});
+            {"check-lin", "check-races", "no-shrink", "fork-workers"});
   if (args.positional().size() != 1) {
     throw ProtocolError(
         "explore needs exactly one scenario name (see `mpcn list`)");
@@ -365,12 +369,18 @@ int cmd_explore(int argc, char** argv) {
     }
     spec = std::make_shared<const SnapshotSpec>(cell.target.n);
   }
+  const bool check_races = args.has("check-races");
+  if (check_races && cell.mode != ExecutionMode::kDirect) {
+    throw ProtocolError("--check-races observes direct-mode memory "
+                        "histories; use --mode direct");
+  }
 
   // ---- replay mode: one scripted schedule, verdict, optional re-record.
   if (args.has("replay")) {
     const ScheduleTrace trace = load_trace(args.require("replay"));
     auto history = spec ? std::make_shared<HistoryRecorder>() : nullptr;
     cell.history = history;
+    cell.check_races = check_races;
     const RunRecord rec = replay_trace(cell, trace);
     bool violated = !rec.ok();
     std::string why = rec.ok() ? "" : (rec.error.empty() ? rec.why
@@ -395,12 +405,18 @@ int cmd_explore(int argc, char** argv) {
       }
       write_json_file(*path, rec.schedule_trace->to_json());
     }
+    if (rec.raced() && why.empty()) {
+      why = "race: " + rec.race_reports.front().why;
+    }
     std::printf("replay: %s (%llu steps, digest %s)%s\n",
-                violated ? "VIOLATION" : "ok",
+                rec.raced() ? "RACE" : (violated ? "VIOLATION" : "ok"),
                 static_cast<unsigned long long>(rec.steps),
                 rec.schedule_digest.c_str(),
                 why.empty() ? "" : ("\n  " + why).c_str());
-    return violated ? 1 : 0;
+    if (rec.races_checked) {
+      std::printf("races: %zu report(s)\n", rec.race_reports.size());
+    }
+    return rec.raced() ? 3 : (violated ? 1 : 0);
   }
 
   // ---- search mode.
@@ -421,6 +437,7 @@ int cmd_explore(int argc, char** argv) {
   opts.shrink_budget =
       static_cast<int>(parse_u64(args.value_or("shrink-budget", "400")));
   opts.spec = spec;
+  opts.check_races = check_races;
   if (args.has("shards")) {
     opts.shards = static_cast<int>(parse_u64(args.require("shards")));
   }
@@ -445,6 +462,7 @@ int cmd_explore(int argc, char** argv) {
     write_json_file(json_path, result.to_json());
   }
   std::fprintf(summary_out, "%s\n", result.summary().c_str());
+  if (result.race_found()) return 3;
   return result.found() ? 1 : 0;
 }
 

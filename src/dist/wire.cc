@@ -31,6 +31,7 @@ Json CellSpec::to_json() const {
   // workers keep exchanging byte-identical cell lines.
   if (!schedule.is_default()) j.set("schedule", schedule.to_json());
   if (record_schedule) j.set("record_schedule", true);
+  if (check_races) j.set("check_races", true);
   Json in = Json::array();
   for (const Value& v : inputs) in.push(value_to_json(v));
   j.set("inputs", std::move(in));
@@ -62,6 +63,9 @@ CellSpec CellSpec::from_json(const Json& j) {
     }
     if (const Json* rs = j.find("record_schedule")) {
       spec.record_schedule = rs->as_bool();
+    }
+    if (const Json* cr = j.find("check_races")) {
+      spec.check_races = cr->as_bool();
     }
     for (const Json& v : j.at("inputs").items()) {
       spec.inputs.push_back(value_from_json(v));
@@ -112,6 +116,7 @@ CellSpec CellSpec::from_cell(const ExperimentCell& cell) {
   }
   spec.schedule = cell.schedule;
   spec.record_schedule = cell.record_schedule;
+  spec.check_races = cell.check_races;
   spec.inputs = cell.inputs;
   if (cell.task) {
     if (!s.make_task) {
@@ -160,6 +165,7 @@ ExperimentCell CellSpec::to_cell() const {
   cell.options.crashes = crashes;
   cell.schedule = schedule;
   cell.record_schedule = record_schedule;
+  cell.check_races = check_races;
   if (use_scenario_task) {
     if (!s.make_task) {
       throw ProtocolError("wire: scenario '" + scenario +

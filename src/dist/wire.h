@@ -76,6 +76,10 @@ struct CellSpec {
   // from_cell rejects cells carrying one.
   ScheduleSpec schedule;
   bool record_schedule = false;
+  // Run the race oracle worker-side (src/analysis/). Serializable —
+  // unlike the history hook — because the worker rebuilds the identical
+  // recorder + analysis, keeping shard records byte-identical.
+  bool check_races = false;
 
   std::vector<Value> inputs;
 

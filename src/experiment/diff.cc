@@ -43,12 +43,18 @@ ReportDiff diff_reports(const Report& a, const Report& b) {
     d.steps_b = rb.steps;
     d.ok_a = ra.ok();
     d.ok_b = rb.ok();
+    d.races_checked_a = ra.races_checked;
+    d.races_checked_b = rb.races_checked;
+    d.races_a = static_cast<int>(ra.race_reports.size());
+    d.races_b = static_cast<int>(rb.race_reports.size());
     d.wall_ms_a = ra.wall_ms;
     d.wall_ms_b = rb.wall_ms;
     if (d.step_regression()) ++diff.step_regressions;
     if (d.step_improvement()) ++diff.step_improvements;
     if (d.verdict_regression()) ++diff.verdict_regressions;
     if (d.verdict_fix()) ++diff.verdict_fixes;
+    if (d.race_regression()) ++diff.race_regressions;
+    if (d.race_fix()) ++diff.race_fixes;
     if (d.changed()) diff.changed.push_back(std::move(d));
   }
   for (const auto& [key, records] : b_by_key) {
@@ -74,21 +80,31 @@ std::string ReportDiff::summary() const {
           << (d.ok_b ? "ok" : "FAIL");
       if (d.verdict_regression()) out << " [VERDICT REGRESSION]";
     }
+    if (d.race_regression() || d.race_fix()) {
+      out << ", races " << d.races_a << " -> " << d.races_b;
+      if (d.race_regression()) out << " [RACE REGRESSION]";
+      if (d.race_fix()) out << " [race fixed]";
+    }
     out << "\n";
+  }
+  const bool improvements =
+      step_improvements > 0 || verdict_fixes > 0 || race_fixes > 0;
+  std::ostringstream improved;
+  if (improvements) {
+    improved << " (" << step_improvements << " step improvement(s), "
+             << verdict_fixes << " verdict fix(es)";
+    if (race_fixes > 0) improved << ", " << race_fixes << " race fix(es)";
+    improved << ")";
   }
   if (has_regressions()) {
     out << step_regressions << " step regression(s), " << verdict_regressions
         << " verdict regression(s)";
-    if (step_improvements > 0 || verdict_fixes > 0) {
-      out << " (" << step_improvements << " step improvement(s), "
-          << verdict_fixes << " verdict fix(es))";
+    if (race_regressions > 0) {
+      out << ", " << race_regressions << " race regression(s)";
     }
+    out << improved.str();
   } else {
-    out << "no regressions";
-    if (step_improvements > 0 || verdict_fixes > 0) {
-      out << " (" << step_improvements << " step improvement(s), "
-          << verdict_fixes << " verdict fix(es))";
-    }
+    out << "no regressions" << improved.str();
   }
   return out.str();
 }
@@ -100,6 +116,8 @@ Json ReportDiff::to_json() const {
       .set("step_improvements", step_improvements)
       .set("verdict_regressions", verdict_regressions)
       .set("verdict_fixes", verdict_fixes)
+      .set("race_regressions", race_regressions)
+      .set("race_fixes", race_fixes)
       .set("wall_ms_a", wall_ms_a)
       .set("wall_ms_b", wall_ms_b)
       .set("has_regressions", has_regressions());
@@ -113,6 +131,9 @@ Json ReportDiff::to_json() const {
         .set("ok_b", d.ok_b)
         .set("wall_ms_a", d.wall_ms_a)
         .set("wall_ms_b", d.wall_ms_b);
+    if (d.races_checked_a && d.races_checked_b) {
+      c.set("races_a", d.races_a).set("races_b", d.races_b);
+    }
     changed_arr.push(std::move(c));
   }
   j.set("changed", std::move(changed_arr));

@@ -14,7 +14,11 @@
 //   * steps   — B took more scheduler steps than A on the same seeded
 //               cell (the deterministic cost metric; wall time is
 //               reported but machine-dependent, so it never regresses a
-//               diff by itself).
+//               diff by itself);
+//   * races   — both records ran the race oracle and B reports more
+//               races than A. Fewer races is a fix (listed in the
+//               changed cells, never a regression); a checked record
+//               against an unchecked one compares nothing.
 #pragma once
 
 #include <string>
@@ -35,6 +39,10 @@ struct CellDelta {
   std::uint64_t steps_b = 0;
   bool ok_a = false;
   bool ok_b = false;
+  bool races_checked_a = false;
+  bool races_checked_b = false;
+  int races_a = 0;
+  int races_b = 0;
   double wall_ms_a = 0.0;
   double wall_ms_b = 0.0;
 
@@ -42,7 +50,18 @@ struct CellDelta {
   bool step_improvement() const { return steps_b < steps_a; }
   bool verdict_regression() const { return ok_a && !ok_b; }
   bool verdict_fix() const { return !ok_a && ok_b; }
-  bool changed() const { return steps_a != steps_b || ok_a != ok_b; }
+  // Race comparisons only fire when BOTH records ran the oracle —
+  // comparing a checked run against an unchecked one says nothing.
+  bool race_regression() const {
+    return races_checked_a && races_checked_b && races_b > races_a;
+  }
+  bool race_fix() const {
+    return races_checked_a && races_checked_b && races_b < races_a;
+  }
+  bool changed() const {
+    return steps_a != steps_b || ok_a != ok_b || race_regression() ||
+           race_fix();
+  }
 };
 
 struct ReportDiff {
@@ -54,11 +73,14 @@ struct ReportDiff {
   int step_improvements = 0;
   int verdict_regressions = 0;
   int verdict_fixes = 0;
-  double wall_ms_a = 0.0;  // total over matched cells
+  int race_regressions = 0;  // cells where B reports more races than A
+  int race_fixes = 0;        // cells where B reports fewer races than A
+  double wall_ms_a = 0.0;    // total over matched cells
   double wall_ms_b = 0.0;
 
   bool has_regressions() const {
-    return step_regressions > 0 || verdict_regressions > 0;
+    return step_regressions > 0 || verdict_regressions > 0 ||
+           race_regressions > 0;
   }
 
   // Multi-line human summary; contains the literal phrase

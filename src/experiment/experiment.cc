@@ -9,6 +9,7 @@
 #include "src/experiment/batch_runner.h"
 #include "src/experiment/registry.h"
 #include "src/explore/policy.h"
+#include "src/history/history.h"
 
 namespace mpcn {
 
@@ -45,10 +46,25 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
 
   RunRecord rec = init_record(cell);
 
+  std::shared_ptr<HistoryRecorder> history = cell.history;
+  if (cell.check_races) {
+    if (cell.mode != ExecutionMode::kDirect) {
+      throw ProtocolError(
+          "check_races observes direct-mode memory histories; engine "
+          "modes funnel operations through agreement protocols");
+    }
+    if (cell.options.mode != SchedulerMode::kLockstep) {
+      throw ProtocolError(
+          "check_races needs the lock-step scheduler: free-mode runs "
+          "have no grant trace or step clock");
+    }
+    if (!history) history = std::make_shared<HistoryRecorder>();
+  }
+
   std::vector<Program> programs;
   switch (cell.mode) {
     case ExecutionMode::kDirect:
-      programs = make_direct_programs(algo, cell.mem, cell.history);
+      programs = make_direct_programs(algo, cell.mem, history);
       break;
     case ExecutionMode::kSimulated: {
       SimulationOptions so;
@@ -76,7 +92,10 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
   } else if (!cell.schedule.is_default()) {
     options.schedule_policy = make_policy(cell.schedule, options.seed);
   }
-  options.record_schedule = cell.record_schedule;
+  // The race oracle needs the grant trace even when the caller did not
+  // ask for schedule fields in the record; capturing it is observation
+  // only and cannot perturb the schedule.
+  options.record_schedule = cell.record_schedule || cell.check_races;
 
   const auto start = std::chrono::steady_clock::now();
   Execution exec(std::move(programs), cell.inputs, options);
@@ -84,11 +103,18 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+  ScheduleTrace grants;
+  if (options.record_schedule && options.mode == SchedulerMode::kLockstep) {
+    grants.grants = exec.controller().grant_trace();
+  }
   if (cell.record_schedule && options.mode == SchedulerMode::kLockstep) {
-    auto trace = std::make_shared<ScheduleTrace>();
-    trace->grants = exec.controller().grant_trace();
+    auto trace = std::make_shared<ScheduleTrace>(grants);
     rec.schedule_digest = trace->digest();
     rec.schedule_trace = std::move(trace);
+  }
+  if (cell.check_races) {
+    rec.races_checked = true;
+    rec.race_reports = find_races(history->events(), grants);
   }
   rec.decisions = std::move(out.decisions);
   rec.crashed = std::move(out.crashed);

@@ -86,6 +86,14 @@ struct ExperimentCell {
   // SequentialSpec oracles over the run. Ignored by engine modes, whose
   // simulated operations already funnel through agreement protocols.
   std::shared_ptr<HistoryRecorder> history;
+  // Run the happens-before race oracle (src/analysis/race_oracle.h)
+  // over the run's event log + grant trace and stamp the verdict into
+  // RunRecord::{races_checked, race_reports}. Direct-mode lock-step
+  // cells only (run_cell_throwing throws otherwise). Unlike `history`
+  // and `policy_override`, this is a serializable flag: sharded workers
+  // run the identical analysis, so sharded and in-process race searches
+  // produce byte-identical records.
+  bool check_races = false;
 };
 
 // Execute one cell. The throwing variant propagates configuration and

@@ -143,6 +143,15 @@ Json RunRecord::to_json(bool include_timing) const {
   // byte-identical to pre-explorer builds.
   if (!schedule_digest.empty()) j.set("schedule_digest", schedule_digest);
   if (schedule_trace) j.set("schedule_trace", schedule_trace->to_json());
+  // Race-oracle fields only when the cell asked for the analysis; the
+  // empty-report array still serializes so "checked and clean" survives
+  // the round trip.
+  if (races_checked) {
+    j.set("races_checked", true);
+    Json races = Json::array();
+    for (const RaceReport& r : race_reports) races.push(r.to_json());
+    j.set("race_reports", std::move(races));
+  }
   j.set("ok", ok());
   return j;
 }
@@ -195,6 +204,14 @@ RunRecord RunRecord::from_json(const Json& j) {
   if (const Json* t = j.find("schedule_trace")) {
     r.schedule_trace =
         std::make_shared<const ScheduleTrace>(ScheduleTrace::from_json(*t));
+  }
+  if (const Json* rc = j.find("races_checked")) {
+    r.races_checked = rc->as_bool();
+  }
+  if (const Json* rr = j.find("race_reports")) {
+    for (const Json& race : rr->items()) {
+      r.race_reports.push_back(RaceReport::from_json(race));
+    }
   }
   return r;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/race_oracle.h"
 #include "src/common/json.h"
 #include "src/common/value.h"
 #include "src/core/bg_engine.h"
@@ -97,8 +98,20 @@ struct RunRecord {
   std::string schedule_digest;  // "" = schedule not recorded
   std::shared_ptr<const ScheduleTrace> schedule_trace;  // may be null
 
+  // Race-oracle verdict (src/analysis/), populated when the cell asked
+  // for it (ExperimentCell::check_races). races_checked distinguishes
+  // "analyzed, zero races" from "never analyzed"; both fields serialize
+  // only when checked, preserving byte-identity for non-checking grids.
+  bool races_checked = false;
+  std::vector<RaceReport> race_reports;
+
   // Clean run + liveness + (when validated) task relation all hold.
+  // Race reports are a separate verdict (raced()): a racy run can still
+  // satisfy its task, and the explorer/CLI distinguish the two outcomes.
   bool ok() const;
+
+  // The race oracle ran and found at least one race.
+  bool raced() const { return races_checked && !race_reports.empty(); }
 
   // Reconstruct the classic Outcome view of this record.
   Outcome outcome() const;

@@ -35,16 +35,27 @@ constexpr std::size_t kSpecOpCap = 64;  // linearizability checker limit
 struct OracleVerdict {
   bool violated = false;
   bool spec_skipped = false;
+  bool race = false;  // the race oracle flagged the run
   std::string why;
 };
 
-// The two oracles: the task/liveness verdict already folded into
-// RunRecord::ok, and (for clean runs with a recorded history) the
+std::string race_why(const RunRecord& rec) {
+  std::string why = "race: " + rec.race_reports.front().why;
+  if (rec.race_reports.size() > 1) {
+    why += " (+" + std::to_string(rec.race_reports.size() - 1) + " more)";
+  }
+  return why;
+}
+
+// The three oracles: the task/liveness verdict already folded into
+// RunRecord::ok, the race-oracle verdict the cell runner stamped into
+// the record, and (for clean runs with a recorded history) the
 // sequential spec.
 OracleVerdict judge(const RunRecord& rec,
                     const std::shared_ptr<const SequentialSpec>& spec,
                     const std::shared_ptr<HistoryRecorder>& history) {
   OracleVerdict v;
+  v.race = rec.raced();
   if (!rec.ok()) {
     v.violated = true;
     if (!rec.error.empty()) {
@@ -56,6 +67,13 @@ OracleVerdict judge(const RunRecord& rec,
     } else {
       v.why = "undecided correct process (liveness)";
     }
+    // The torn read that breaks a task often IS the race; say both.
+    if (v.race) v.why += "; " + race_why(rec);
+    return v;
+  }
+  if (v.race) {
+    v.violated = true;
+    v.why = race_why(rec);
     return v;
   }
   if (spec && history) {
@@ -130,11 +148,13 @@ ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
     s.script = std::make_shared<const ScheduleTrace>(ScheduleTrace{grants});
     candidate.schedule = std::move(s);
     candidate.record_schedule = false;
+    candidate.check_races = options.check_races;
     auto history =
         want_history ? std::make_shared<HistoryRecorder>() : nullptr;
     candidate.history = history;
     const RunRecord rec = run_cell(candidate);
-    return judge(rec, options.spec, history).violated;
+    const OracleVerdict verdict = judge(rec, options.spec, history);
+    return options.require_race ? verdict.race : verdict.violated;
   };
 
   std::vector<ThreadId> current = failing.grants;
@@ -202,25 +222,38 @@ ExploreResult explore(const ExperimentCell& cell,
           "cannot shard");
     }
   }
+  if (options.check_races && cell.mode != ExecutionMode::kDirect) {
+    throw ProtocolError(
+        "the race oracle observes direct-mode memory histories; use a "
+        "direct cell (mpcn explore --mode direct)");
+  }
 
   ExploreResult result;
   result.policy = options.policy;
+
+  // Every search, probe, shard and shrink run flows from this cell, so
+  // the race-oracle flag rides along everywhere uniformly.
+  ExperimentCell base = cell;
+  base.check_races = options.check_races;
 
   const bool want_history =
       options.spec != nullptr && cell.mode == ExecutionMode::kDirect;
 
   auto handle_violation = [&](int index, RunRecord rec,
-                              const std::string& why) {
+                              const OracleVerdict& verdict) {
     ExploreViolation v;
     v.schedule_index = index;
-    v.why = why;
+    v.why = verdict.why;
+    v.race = verdict.race;
     if (rec.schedule_trace) v.trace = *rec.schedule_trace;
     v.record = std::move(rec);
     if (options.shrink_violations && !v.trace.empty()) {
       ShrinkOptions so;
       so.max_replays = options.shrink_budget;
       so.spec = options.spec;
-      ShrinkResult sr = shrink(cell, v.trace, so);
+      so.check_races = options.check_races;
+      so.require_race = v.race;
+      ShrinkResult sr = shrink(base, v.trace, so);
       v.shrunk = std::move(sr.trace);
       v.shrunk_verified = sr.verified;
       v.shrink_replays = sr.replays;
@@ -246,12 +279,12 @@ ExploreResult explore(const ExperimentCell& cell,
     probe.seed = options.seed;
     auto history =
         want_history ? std::make_shared<HistoryRecorder>() : nullptr;
-    RunRecord rec = run_schedule(cell, -1, probe, nullptr, history);
+    RunRecord rec = run_schedule(base, -1, probe, nullptr, history);
     horizon = std::max<std::uint64_t>(rec.steps, 8);
     result.total_steps += rec.steps;
     const OracleVerdict v = judge(rec, options.spec, history);
     if (v.spec_skipped) ++result.skipped_spec_checks;
-    if (v.violated && handle_violation(-1, std::move(rec), v.why)) {
+    if (v.violated && handle_violation(-1, std::move(rec), v)) {
       result.pct_horizon = horizon;
       return result;
     }
@@ -264,7 +297,7 @@ ExploreResult explore(const ExperimentCell& cell,
     std::vector<ExperimentCell> cells;
     cells.reserve(static_cast<std::size_t>(options.budget));
     for (int i = 0; i < options.budget; ++i) {
-      ExperimentCell c = cell;
+      ExperimentCell c = base;
       c.cell_index = i;
       c.schedule = spec_for(options, horizon, i);
       c.policy_override = nullptr;
@@ -284,8 +317,7 @@ ExploreResult explore(const ExperimentCell& cell,
         result.first_trace = *rec.schedule_trace;
       }
       const OracleVerdict v = judge(rec, nullptr, nullptr);
-      if (v.violated &&
-          handle_violation(rec.cell_index, rec, v.why)) {
+      if (v.violated && handle_violation(rec.cell_index, rec, v)) {
         break;
       }
     }
@@ -308,19 +340,34 @@ ExploreResult explore(const ExperimentCell& cell,
     }
     auto history =
         want_history ? std::make_shared<HistoryRecorder>() : nullptr;
-    RunRecord rec = run_schedule(cell, i, schedule, dfs, history);
+    RunRecord rec = run_schedule(base, i, schedule, dfs, history);
     ++result.schedules;
     result.total_steps += rec.steps;
     if (i == 0 && rec.schedule_trace) result.first_trace = *rec.schedule_trace;
     const OracleVerdict v = judge(rec, options.spec, history);
     if (v.spec_skipped) ++result.skipped_spec_checks;
-    if (v.violated && handle_violation(i, std::move(rec), v.why)) break;
+    if (v.violated && handle_violation(i, std::move(rec), v)) break;
   }
   if (dfs) {
     result.pruned_prefixes = dfs->pruned_prefixes();
     result.exhausted = result.exhausted || dfs->exhausted();
   }
   return result;
+}
+
+bool ExploreResult::race_found() const {
+  for (const ExploreViolation& v : violations) {
+    if (v.race) return true;
+  }
+  return false;
+}
+
+int ExploreResult::race_reports() const {
+  int n = 0;
+  for (const ExploreViolation& v : violations) {
+    n += static_cast<int>(v.record.race_reports.size());
+  }
+  return n;
 }
 
 Json ExploreResult::to_json(bool include_traces) const {
@@ -330,6 +377,8 @@ Json ExploreResult::to_json(bool include_traces) const {
       .set("exhausted", exhausted)
       .set("found", found())
       .set("violations", static_cast<std::int64_t>(violations.size()))
+      .set("race_found", race_found())
+      .set("race_reports", race_reports())
       .set("total_steps", static_cast<std::int64_t>(total_steps))
       .set("pct_horizon", static_cast<std::int64_t>(pct_horizon))
       .set("pruned_prefixes", static_cast<std::int64_t>(pruned_prefixes))
@@ -339,6 +388,8 @@ Json ExploreResult::to_json(bool include_traces) const {
     Json vj = Json::object();
     vj.set("schedule_index", v.schedule_index)
         .set("why", v.why)
+        .set("race", v.race)
+        .set("races", static_cast<std::int64_t>(v.record.race_reports.size()))
         .set("trace_len", static_cast<std::int64_t>(v.trace.size()))
         .set("trace_digest", v.trace.digest())
         .set("shrunk_len", static_cast<std::int64_t>(v.shrunk.size()))
@@ -365,6 +416,9 @@ std::string ExploreResult::summary() const {
     return s;
   }
   s += ", " + std::to_string(violations.size()) + " violation(s)";
+  if (race_found()) {
+    s += ", " + std::to_string(race_reports()) + " race report(s)";
+  }
   const ExploreViolation& v = violations.front();
   s += "; first: " + v.why + ", trace " + std::to_string(v.trace.size()) +
        " -> " + std::to_string(v.shrunk.size()) + " grants" +

@@ -73,6 +73,12 @@ struct ExploreOptions {
   // checker's 64-operation cap are skipped and counted.
   std::shared_ptr<const SequentialSpec> spec;
 
+  // Third oracle: the happens-before race detector (src/analysis/).
+  // Direct-mode cells only. Unlike the spec oracle this IS shardable —
+  // the flag serializes with the cell and workers run the analysis
+  // themselves, so sharded and in-process searches stay byte-identical.
+  bool check_races = false;
+
   // > 0: fan the schedule batch out over worker subprocesses through
   // src/dist/ (random/PCT only; requires a registry-named cell).
   int shards = 0;
@@ -84,6 +90,11 @@ struct ExploreViolation {
   int schedule_index = -1;  // which schedule of the search found it
   RunRecord record;         // the failing run (schedule fields populated)
   std::string why;          // oracle explanation
+  // The race oracle flagged this run; record.race_reports holds the
+  // reports. A run can be a race AND a verdict violation at once (the
+  // racy_register torn read breaks validity); `race` lets the CLI exit
+  // distinctly either way.
+  bool race = false;
   ScheduleTrace trace;      // the counterexample schedule
   ScheduleTrace shrunk;     // == trace when shrinking is off or failed
   bool shrunk_verified = false;  // the shrunk trace re-failed on replay
@@ -104,6 +115,11 @@ struct ExploreResult {
   std::vector<ExploreViolation> violations;
 
   bool found() const { return !violations.empty(); }
+
+  // Any violation flagged by the race oracle, and the total number of
+  // race reports across all violations.
+  bool race_found() const;
+  int race_reports() const;
 
   Json to_json(bool include_traces = true) const;
   std::string summary() const;
@@ -130,6 +146,12 @@ struct ShrinkOptions {
   // failing if the record fails OR the recorded history violates the
   // spec.
   std::shared_ptr<const SequentialSpec> spec;
+  // Run the race oracle on every candidate replay.
+  bool check_races = false;
+  // With check_races: a candidate only counts as failing if it still
+  // exhibits a RACE (not merely any violation), so shrinking a race
+  // counterexample cannot drift onto a race-free failure mode.
+  bool require_race = false;
 };
 
 struct ShrinkResult {

@@ -127,7 +127,9 @@ TEST(ColoredIdentity, SurvivesSimulatorCrashes) {
   ColoredOutputs c = unpack(out);
   std::set<std::int64_t> claims;
   for (const auto& cl : c.claimed) {
-    if (cl) EXPECT_TRUE(claims.insert(*cl).second);
+    if (cl) {
+      EXPECT_TRUE(claims.insert(*cl).second);
+    }
   }
 }
 
@@ -154,7 +156,9 @@ TEST_P(ColoredRenaming, SimulatorsGetDistinctNames) {
   EXPECT_TRUE(check.validate(c.values, &why)) << why;
   std::set<std::int64_t> claims;
   for (const auto& cl : c.claimed) {
-    if (cl) EXPECT_TRUE(claims.insert(*cl).second);
+    if (cl) {
+      EXPECT_TRUE(claims.insert(*cl).second);
+    }
   }
 }
 

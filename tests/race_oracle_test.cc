@@ -1,0 +1,361 @@
+// Tests: src/analysis — the happens-before race oracle. Unit-level
+// coverage of the vector-clock engine over synthesized histories, then
+// the full pipeline: explore(check_races) flags the racy_register torn
+// pair write under DFS bound 1 and PCT, stays silent on every clean
+// registry scenario across a seeded budget, round-trips RaceReports
+// through JSON and the shard wire, and keeps sharded searches
+// byte-identical to in-process ones.
+#include <gtest/gtest.h>
+
+#include "src/analysis/race_oracle.h"
+#include "src/dist/wire.h"
+#include "src/experiment/diff.h"
+#include "src/experiment/experiment.h"
+#include "src/explore/explorer.h"
+#include "src/history/history.h"
+
+namespace mpcn {
+namespace {
+
+std::vector<Value> index_inputs(const ModelSpec& m) {
+  std::vector<Value> in;
+  for (int i = 0; i < m.n; ++i) in.push_back(Value(i));
+  return in;
+}
+
+ExperimentCell named_cell(const std::string& scenario, const ModelSpec& m,
+                          std::uint64_t seed) {
+  Experiment e = Experiment::named(scenario, m);
+  e.direct().seed(seed).inputs_fn(index_inputs);
+  return e.cells().front();
+}
+
+Event write_ev(ThreadId tid, int cell, Value v, std::uint64_t invoke,
+               std::uint64_t response) {
+  Event e;
+  e.tid = tid;
+  e.op = "write";
+  e.arg = Value::pair(Value(cell), std::move(v));
+  e.invoke_step = invoke;
+  e.response_step = response;
+  return e;
+}
+
+Event snap_ev(ThreadId tid, std::initializer_list<Value> view,
+              std::uint64_t invoke, std::uint64_t response) {
+  Event e;
+  e.tid = tid;
+  e.op = "snapshot";
+  e.ret = Value::list(view);
+  e.invoke_step = invoke;
+  e.response_step = response;
+  return e;
+}
+
+// --------------------------------------------------- vector-clock engine
+
+TEST(HappensBefore, ProgramOrderAndReadsFromEdges) {
+  const ThreadId q0{0, 0}, q1{1, 0};
+  // q0 writes, q1 snapshots the write, q1 writes: the snapshot's
+  // reads-from edge orders q0's write before q1's.
+  const std::vector<Event> events = {
+      write_ev(q0, 0, Value(1), 1, 2),
+      snap_ev(q1, {Value(1)}, 3, 4),
+      write_ev(q1, 0, Value(2), 5, 6),
+  };
+  const HbAnalysis hb = compute_happens_before(events);
+  // Program order: q1's snapshot precedes q1's write.
+  EXPECT_TRUE(hb.happens_before(1, 2, events));
+  EXPECT_FALSE(hb.happens_before(2, 1, events));
+  // Reads-from: write -> observing snapshot, and transitively to the
+  // snapshotting thread's later write.
+  ASSERT_EQ(hb.reads_from.count(1), 1u);
+  EXPECT_EQ(hb.reads_from.at(1).at(0), 0);
+  EXPECT_TRUE(hb.happens_before(0, 1, events));
+  EXPECT_TRUE(hb.happens_before(0, 2, events));
+  // No edge back from the snapshot to the write it read.
+  EXPECT_FALSE(hb.happens_before(1, 0, events));
+}
+
+TEST(RaceOracle, UnorderedMultiWriterFlagged) {
+  const ThreadId q0{0, 0}, q1{1, 0};
+  // Two writers hit cell 0 with nothing ordering them.
+  const std::vector<Event> events = {
+      write_ev(q0, 0, Value(1), 1, 2),
+      write_ev(q1, 0, Value(2), 3, 4),
+  };
+  const auto races = find_races(events, ScheduleTrace{});
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].kind, RaceKind::kMultiWriter);
+  EXPECT_EQ(races[0].cell, 0);
+  EXPECT_EQ(races[0].first.tid, q0);
+  EXPECT_EQ(races[0].second.tid, q1);
+  EXPECT_NE(races[0].why.find("unsynchronized writers"), std::string::npos);
+}
+
+TEST(RaceOracle, MultiWriterOrderedThroughSnapshotIsClean) {
+  const ThreadId q0{0, 0}, q1{1, 0};
+  // Same two writes, but q1 snapshotted q0's write first: the reads-from
+  // edge plus q1's program order gives write -> write happens-before.
+  const std::vector<Event> events = {
+      write_ev(q0, 0, Value(1), 1, 2),
+      snap_ev(q1, {Value(1)}, 3, 4),
+      write_ev(q1, 0, Value(2), 5, 6),
+  };
+  EXPECT_TRUE(find_races(events, ScheduleTrace{}).empty());
+}
+
+TEST(RaceOracle, TornWindowObservedBlipFlagged) {
+  const ThreadId q0{0, 0}, q1{1, 0};
+  // q0 publishes 0, blips it to 7, immediately restores 0; q1's snapshot
+  // lands inside the window and observes the 7.
+  const std::vector<Event> events = {
+      write_ev(q0, 0, Value(0), 1, 2),
+      write_ev(q0, 0, Value(7), 3, 4),
+      snap_ev(q1, {Value(7)}, 3, 5),
+      write_ev(q0, 0, Value(0), 5, 6),
+  };
+  const auto races = find_races(events, ScheduleTrace{});
+  ASSERT_EQ(races.size(), 1u);
+  const RaceReport& r = races[0];
+  EXPECT_EQ(r.kind, RaceKind::kTornWindow);
+  EXPECT_EQ(r.cell, 0);
+  EXPECT_EQ(r.blip, Value(7));
+  EXPECT_EQ(r.restored, Value(0));
+  EXPECT_EQ(r.window_begin, 4u);
+  EXPECT_EQ(r.window_end, 6u);
+  EXPECT_EQ(r.first.op, "write");
+  EXPECT_EQ(r.second.op, "snapshot");
+  EXPECT_EQ(r.second.tid, q1);
+}
+
+TEST(RaceOracle, TornWindowUnobservedIsClean) {
+  const ThreadId q0{0, 0}, q1{1, 0};
+  // Same blip, but q1's snapshot sees the restored value: no observer of
+  // the repudiated state, no race.
+  const std::vector<Event> events = {
+      write_ev(q0, 0, Value(0), 1, 2),
+      write_ev(q0, 0, Value(7), 3, 4),
+      write_ev(q0, 0, Value(0), 5, 6),
+      snap_ev(q1, {Value(0)}, 7, 8),
+  };
+  EXPECT_TRUE(find_races(events, ScheduleTrace{}).empty());
+}
+
+TEST(RaceOracle, ReportJsonRoundTrip) {
+  const ThreadId q0{0, 0}, q1{1, 0};
+  const std::vector<Event> events = {
+      write_ev(q0, 0, Value(0), 1, 2),
+      write_ev(q0, 0, Value(7), 3, 4),
+      snap_ev(q1, {Value(7)}, 3, 5),
+      write_ev(q0, 0, Value(0), 5, 6),
+      write_ev(q1, 1, Value(3), 7, 8),
+      write_ev(q0, 1, Value(4), 9, 10),
+  };
+  const auto races = find_races(events, ScheduleTrace{}, "feedc0de");
+  ASSERT_EQ(races.size(), 2u);  // one torn window + one multi-writer
+  for (const RaceReport& r : races) {
+    EXPECT_EQ(r.schedule_digest, "feedc0de");
+    const RaceReport back =
+        RaceReport::from_json(Json::parse(r.to_json().dump()));
+    EXPECT_EQ(back, r);
+  }
+  EXPECT_NE(races[0], races[1]);
+}
+
+// ------------------------------------------------- explorer integration
+
+TEST(RaceOracle, DfsBound1FlagsRacyRegister) {
+  // The pinned exhibit: systematic DFS at preemption bound 1 must trip
+  // the oracle on racy_register's torn pair write.
+  const ExperimentCell cell =
+      named_cell("racy_register", ModelSpec{2, 0, 1}, 1);
+  ExploreOptions opts;
+  opts.policy = ExplorePolicy::kBoundedDfs;
+  opts.dfs_preemption_bound = 1;
+  opts.budget = 200;
+  opts.check_races = true;
+  const ExploreResult result = explore(cell, opts);
+
+  ASSERT_TRUE(result.race_found());
+  EXPECT_GE(result.race_reports(), 1);
+  const ExploreViolation& v = result.violations.front();
+  EXPECT_TRUE(v.race);
+  EXPECT_TRUE(v.record.races_checked);
+  ASSERT_FALSE(v.record.race_reports.empty());
+  const RaceReport& r = v.record.race_reports.front();
+  EXPECT_EQ(r.kind, RaceKind::kTornWindow);
+  EXPECT_FALSE(r.schedule_digest.empty());
+  EXPECT_NE(v.why.find("race:"), std::string::npos);
+  // The counterexample shrank and still races (require_race shrinking).
+  EXPECT_TRUE(v.shrunk_verified);
+  EXPECT_LE(v.shrunk.size(), v.trace.size());
+}
+
+TEST(RaceOracle, ShrunkRaceTraceStillRacesOnReplay) {
+  ExperimentCell cell = named_cell("racy_register", ModelSpec{2, 0, 1}, 1);
+  ExploreOptions opts;
+  opts.policy = ExplorePolicy::kPct;
+  opts.seed = 1;
+  opts.budget = 200;
+  opts.check_races = true;
+  const ExploreResult result = explore(cell, opts);
+  ASSERT_TRUE(result.race_found());
+  const ExploreViolation& v = result.violations.front();
+  ASSERT_TRUE(v.shrunk_verified);
+
+  cell.check_races = true;
+  const RunRecord rec = replay_trace(cell, v.shrunk);
+  EXPECT_TRUE(rec.races_checked);
+  EXPECT_TRUE(rec.raced());
+  // The replayed report carries the shrunk schedule's identity.
+  EXPECT_EQ(rec.race_reports.front().schedule_digest, rec.schedule_digest);
+}
+
+TEST(RaceOracle, CleanScenariosStaySilentAcrossSeededBudget) {
+  struct Case {
+    const char* scenario;
+    ModelSpec model;
+  };
+  // trivial_kset and group_kset are the Figure 7 chain's scenario
+  // family, run on their direct hop (the race oracle is direct-only).
+  const Case cases[] = {
+      {"step_churn", ModelSpec{3, 0, 1}},
+      {"snapshot_churn", ModelSpec{3, 0, 1}},
+      {"trivial_kset", ModelSpec{3, 1, 1}},
+      {"group_kset", ModelSpec{4, 1, 2}},
+      {"single_object_consensus", ModelSpec{2, 0, 2}},
+  };
+  for (const Case& c : cases) {
+    const ExperimentCell cell = named_cell(c.scenario, c.model, 1);
+    ExploreOptions opts;
+    opts.policy = ExplorePolicy::kSeededRandom;
+    opts.seed = 7;
+    opts.budget = 60;
+    opts.max_violations = 0;  // scan the whole budget
+    opts.shrink_violations = false;
+    opts.check_races = true;
+    const ExploreResult result = explore(cell, opts);
+    EXPECT_FALSE(result.race_found()) << c.scenario;
+    EXPECT_EQ(result.race_reports(), 0) << c.scenario;
+    EXPECT_TRUE(result.violations.empty()) << c.scenario;
+  }
+}
+
+TEST(RaceOracle, ShardedRaceSearchMatchesInProcess) {
+  const ExperimentCell cell =
+      named_cell("racy_register", ModelSpec{2, 0, 1}, 1);
+  ExploreOptions local;
+  local.policy = ExplorePolicy::kPct;
+  local.seed = 1;
+  local.budget = 100;
+  local.max_violations = 3;
+  local.check_races = true;
+  const ExploreResult a = explore(cell, local);
+
+  ExploreOptions sharded = local;
+  sharded.shards = 2;  // fork workers: no binary needed
+  const ExploreResult b = explore(cell, sharded);
+
+  ASSERT_TRUE(a.race_found());
+  ASSERT_TRUE(b.race_found());
+  // The whole result — violations, records, race reports, shrunk
+  // traces — serializes byte-identically (RunRecord JSON carries no
+  // timing), the same contract the run path pins for sharded grids.
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST(RaceOracle, CheckRacesRequiresDirectLockstep) {
+  ExperimentCell simulated =
+      Experiment::named("racy_register", ModelSpec{2, 0, 1})
+          .in(ModelSpec{2, 0, 1})
+          .inputs_fn(index_inputs)
+          .cells()
+          .front();
+  simulated.check_races = true;
+  const RunRecord rec = run_cell(simulated);
+  EXPECT_FALSE(rec.error.empty());
+  EXPECT_FALSE(rec.races_checked);
+
+  ExperimentCell free_mode = named_cell("step_churn", ModelSpec{2, 0, 1}, 1);
+  free_mode.options.mode = SchedulerMode::kFree;
+  free_mode.check_races = true;
+  const RunRecord rec2 = run_cell(free_mode);
+  EXPECT_FALSE(rec2.error.empty());
+}
+
+// --------------------------------------------------- wire + record + diff
+
+TEST(RaceOracle, CheckRacesCrossesTheWireAndRecordsRoundTrip) {
+  ExperimentCell cell = named_cell("racy_register", ModelSpec{2, 0, 1}, 1);
+  cell.check_races = true;
+  cell.record_schedule = true;
+  const CellSpec spec = CellSpec::from_cell(cell);
+  EXPECT_TRUE(spec.check_races);
+  const CellSpec reparsed = CellSpec::from_json(spec.to_json());
+  EXPECT_TRUE(reparsed.check_races);
+  EXPECT_TRUE(reparsed.to_cell().check_races);
+
+  // A record with race reports survives the wire's JSON round trip.
+  ExploreOptions opts;
+  opts.policy = ExplorePolicy::kPct;
+  opts.seed = 1;
+  opts.budget = 200;
+  opts.check_races = true;
+  opts.shrink_violations = false;
+  const ExploreResult result = explore(cell, opts);
+  ASSERT_TRUE(result.race_found());
+  const RunRecord& rec = result.violations.front().record;
+  const RunRecord back = RunRecord::from_json(rec.to_json());
+  EXPECT_TRUE(back.races_checked);
+  ASSERT_EQ(back.race_reports.size(), rec.race_reports.size());
+  EXPECT_EQ(back.race_reports.front(), rec.race_reports.front());
+  EXPECT_EQ(back.to_json().dump(), rec.to_json().dump());
+
+  // Unchecked records keep their pre-oracle JSON shape: no races_checked
+  // or race_reports keys to perturb byte-identity with old reports.
+  ExperimentCell plain = named_cell("racy_register", ModelSpec{2, 0, 1}, 1);
+  const Json j = run_cell(plain).to_json();
+  EXPECT_EQ(j.find("races_checked"), nullptr);
+  EXPECT_EQ(j.find("race_reports"), nullptr);
+}
+
+TEST(RaceOracle, DiffFlagsRaceRegressions) {
+  ExperimentCell cell = named_cell("racy_register", ModelSpec{2, 0, 1}, 1);
+  ExploreOptions opts;
+  opts.policy = ExplorePolicy::kPct;
+  opts.seed = 1;
+  opts.budget = 200;
+  opts.check_races = true;
+  opts.shrink_violations = false;
+  const ExploreResult result = explore(cell, opts);
+  ASSERT_TRUE(result.race_found());
+
+  Report racy;
+  racy.title = "b";
+  racy.records.push_back(result.violations.front().record);
+  Report clean = racy;
+  clean.records.front().race_reports.clear();
+
+  // clean -> racy is a regression; racy -> clean is a fix, not one.
+  const ReportDiff regressed = diff_reports(clean, racy);
+  EXPECT_EQ(regressed.race_regressions, 1);
+  EXPECT_TRUE(regressed.has_regressions());
+  EXPECT_NE(regressed.summary().find("RACE REGRESSION"), std::string::npos);
+
+  const ReportDiff fixed = diff_reports(racy, clean);
+  EXPECT_EQ(fixed.race_fixes, 1);
+  EXPECT_FALSE(fixed.has_regressions());
+  EXPECT_NE(fixed.summary().find("no regressions"), std::string::npos);
+  EXPECT_NE(fixed.summary().find("race fix"), std::string::npos);
+
+  // Unchecked vs checked compares nothing race-wise.
+  Report unchecked = racy;
+  unchecked.records.front().races_checked = false;
+  unchecked.records.front().race_reports.clear();
+  const ReportDiff mixed = diff_reports(unchecked, racy);
+  EXPECT_EQ(mixed.race_regressions, 0);
+}
+
+}  // namespace
+}  // namespace mpcn

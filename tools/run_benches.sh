@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Regenerate the perf-trajectory JSONs at the repo root.
 #
-#   tools/run_benches.sh [BUILD_DIR]            # full run (the committed files)
+#   tools/run_benches.sh [BUILD_DIR]            # full run (the committed
+#                                               # files; Release, default
+#                                               # build dir build-release/)
 #   SMOKE=1 tools/run_benches.sh [BUILD_DIR]    # 1-iteration CI smoke: same
-#                                               # JSON paths, minimal runtime
+#                                               # JSON paths, minimal runtime,
+#                                               # any build type
 #
 # Writes, at the repo root:
 #   BENCH_snapshot_ablation.json    (Google Benchmark --benchmark_format=json)
@@ -13,11 +16,34 @@
 #
 # Keep these regenerated-and-committed when a PR claims a hot-path win, so
 # the trajectory across commits stays machine-readable.
+#
+# Full runs PIN -DCMAKE_BUILD_TYPE=Release: the committed numbers are
+# perf claims, and the default RelWithDebInfo (or worse, a stray Debug
+# cache) makes them quietly incomparable across commits. The default
+# build dir is build-release/, auto-configured on first use; an explicit
+# BUILD_DIR argument must already be a Release build. SMOKE mode only
+# proves the JSON path works, so it accepts any build type (CI reuses
+# its ordinary test build).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
 SMOKE="${SMOKE:-0}"
+if [[ "$SMOKE" == "1" ]]; then
+  BUILD="${1:-$ROOT/build}"
+else
+  BUILD="${1:-$ROOT/build-release}"
+  if [[ ! -f "$BUILD/CMakeCache.txt" ]]; then
+    echo "== configuring Release build in $BUILD"
+    cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  fi
+  if ! grep -q '^CMAKE_BUILD_TYPE:[^=]*=Release$' "$BUILD/CMakeCache.txt"; then
+    echo "error: $BUILD is not a Release build; full bench runs must be" \
+         "Release so the committed JSONs stay comparable" >&2
+    echo "       (cmake -B $BUILD -S $ROOT -DCMAKE_BUILD_TYPE=Release)" >&2
+    exit 1
+  fi
+  cmake --build "$BUILD" -j "$(nproc)"
+fi
 
 if [[ ! -x "$BUILD/bench_simulation_overhead" ]]; then
   echo "error: benches not built in $BUILD (cmake --build $BUILD -j)" >&2
