@@ -6,9 +6,17 @@
 // capture and the oracle verdict. Shrinking is off and violations do not
 // stop the search, so every row runs its whole budget.
 //
+// Random and pct additionally sweep the in-process `threads` axis
+// (serial / 2 / 8) of the parallel engine; dfs is serial-only by design.
+// On a single hardware core the threaded rows mostly price the engine's
+// coordination overhead — the byte-identity contract is what makes the
+// axis safe to turn on where cores exist.
+//
 // Part 2: replay overhead — the same cell run N times natively (builtin
-// seeded schedule) vs N scripted replays of a recorded trace. The ratio
-// is the price of record/replay debugging on top of a plain seeded run.
+// seeded schedule) vs N scripted replays of a recorded trace, both with
+// trace capture on so the ratio isolates the scripted-policy cost. The
+// ratio is the price of record/replay debugging on top of a plain seeded
+// run and is asserted <= 1.05x at real budgets.
 //
 // `--budget N` scales both parts (default 300; CI smoke uses a handful).
 // `--json[=path]` writes the machine-readable rows (default
@@ -55,42 +63,54 @@ int main(int argc, char** argv) {
 
   std::printf("== Explore throughput: racy_register 2,0,1, budget %d\n",
               budget);
-  std::printf("%-8s %10s %12s %14s %12s\n", "policy", "wall_ms",
-              "schedules", "sched_per_sec", "violations");
+  std::printf("%-8s %8s %10s %12s %14s %12s\n", "policy", "threads",
+              "wall_ms", "schedules", "sched_per_sec", "violations");
   const ExperimentCell cell = exhibit_cell(2);
   for (ExplorePolicy policy :
        {ExplorePolicy::kSeededRandom, ExplorePolicy::kPct,
         ExplorePolicy::kBoundedDfs}) {
-    ExploreOptions opts;
-    opts.policy = policy;
-    opts.seed = 1;
-    opts.budget = budget;
-    opts.max_violations = 0;      // run the whole budget
-    opts.shrink_violations = false;
-    const auto start = std::chrono::steady_clock::now();
-    const ExploreResult result = explore(cell, opts);
-    const double wall = ms_since(start);
-    const double per_sec =
-        wall > 0.0 ? result.schedules * 1000.0 / wall : 0.0;
-    std::printf("%-8s %10.1f %12d %14.0f %12zu%s\n", to_string(policy),
-                wall, result.schedules, per_sec, result.violations.size(),
-                result.exhausted ? " (exhausted)" : "");
-    Json row = Json::object();
-    row.set("name", std::string("explore_") + to_string(policy))
-        .set("schedules", result.schedules)
-        .set("wall_ms", wall)
-        .set("schedules_per_second", per_sec)
-        .set("violations", static_cast<std::int64_t>(result.violations.size()))
-        .set("exhausted", result.exhausted)
-        .set("total_steps", static_cast<std::int64_t>(result.total_steps));
-    rows.push(std::move(row));
-    // The exhibit must stay findable: pct and dfs see it, random does not
-    // within this seed/budget (the needle the explorer exists for).
-    if (policy != ExplorePolicy::kSeededRandom &&
-        result.violations.empty() && budget >= 100) {
-      std::fprintf(stderr, "%s found no violation — exhibit regressed?\n",
-                   to_string(policy));
-      all_ok = false;
+    const bool serial_only = policy == ExplorePolicy::kBoundedDfs;
+    for (int threads : {0, 2, 8}) {
+      if (serial_only && threads != 0) continue;
+      ExploreOptions opts;
+      opts.policy = policy;
+      opts.seed = 1;
+      opts.budget = budget;
+      opts.threads = threads;
+      opts.max_violations = 0;      // run the whole budget
+      opts.shrink_violations = false;
+      const auto start = std::chrono::steady_clock::now();
+      const ExploreResult result = explore(cell, opts);
+      const double wall = ms_since(start);
+      const double per_sec =
+          wall > 0.0 ? result.schedules * 1000.0 / wall : 0.0;
+      std::printf("%-8s %8d %10.1f %12d %14.0f %12zu%s\n", to_string(policy),
+                  threads, wall, result.schedules, per_sec,
+                  result.violations.size(),
+                  result.exhausted ? " (exhausted)" : "");
+      // Serial rows keep their historical names so the trajectory stays
+      // comparable; threaded rows carry a suffix.
+      std::string name = std::string("explore_") + to_string(policy);
+      if (threads > 0) name += "_t" + std::to_string(threads);
+      Json row = Json::object();
+      row.set("name", std::move(name))
+          .set("threads", threads)
+          .set("schedules", result.schedules)
+          .set("wall_ms", wall)
+          .set("schedules_per_second", per_sec)
+          .set("violations",
+               static_cast<std::int64_t>(result.violations.size()))
+          .set("exhausted", result.exhausted)
+          .set("total_steps", static_cast<std::int64_t>(result.total_steps));
+      rows.push(std::move(row));
+      // The exhibit must stay findable: pct and dfs see it, random does not
+      // within this seed/budget (the needle the explorer exists for).
+      if (policy != ExplorePolicy::kSeededRandom &&
+          result.violations.empty() && budget >= 100) {
+        std::fprintf(stderr, "%s found no violation — exhibit regressed?\n",
+                     to_string(policy));
+        all_ok = false;
+      }
     }
   }
 
@@ -111,9 +131,15 @@ int main(int argc, char** argv) {
   }
 
   const int reps = budget;
+  // replay_trace records the replayed schedule (the digest check depends
+  // on it), so the native side records too — otherwise the ratio charges
+  // trace capture to the scripted policy.
   const auto native_start = std::chrono::steady_clock::now();
   for (int i = 0; i < reps; ++i) {
-    if (!run_cell(churn_cell).ok()) all_ok = false;
+    const RunRecord r = run_cell(recorded_cell);
+    if (!r.ok() || r.schedule_digest != recorded.schedule_digest) {
+      all_ok = false;
+    }
   }
   const double native_ms = ms_since(native_start);
 
@@ -130,6 +156,15 @@ int main(int argc, char** argv) {
   std::printf("\n== Replay overhead: snapshot_churn 3,0,1, %d reps\n", reps);
   std::printf("native %.1f ms, scripted replay %.1f ms  (%.2fx)\n",
               native_ms, replay_ms, overhead);
+  // The cursor-based ScriptedPolicy makes replay a near-free debugging
+  // mode; hold the line at small budgets too noisy to judge.
+  if (budget >= 100 && overhead > 1.05) {
+    std::fprintf(stderr,
+                 "replay overhead %.2fx exceeds the 1.05x budget — "
+                 "ScriptedPolicy hot path regressed?\n",
+                 overhead);
+    all_ok = false;
+  }
   Json replay_row = Json::object();
   replay_row.set("name", "replay_overhead")
       .set("reps", reps)

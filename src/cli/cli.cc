@@ -67,9 +67,14 @@ const char kUsage[] =
     "  --title S         report title (default: scenario name)\n"
     "\n"
     "explore flags (plus --in/--source/--mode/--mem/--steps/--wall/\n"
-    "--inputs/--shards/--threads/--fork-workers as for run):\n"
+    "--inputs/--shards/--fork-workers as for run):\n"
     "  --policy P        random|pct|dfs (default: pct)\n"
     "  --budget N        max schedules to try (default: 200)\n"
+    "  --threads N       parallel in-process search: N worker threads\n"
+    "                    splitting the budget by schedule index, report\n"
+    "                    byte-identical to serial (default: 0 = serial;\n"
+    "                    dfs stays serial; with --shards this is the\n"
+    "                    per-shard-runner pool size as for run)\n"
     "  --seed S          base seed; schedule i uses S+i (default: 1)\n"
     "  --max-violations M  stop after M violations (default 1; 0 = all)\n"
     "  --pct-depth D     PCT priority-change depth (default: 3)\n"

@@ -1,0 +1,56 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+
+namespace mpcn {
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(first_chunk_bytes, 64)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  // Walk forward through existing chunks before growing: after a reset
+  // the whole chain is empty and gets refilled front to back, so a
+  // steady-state schedule touches the same pages every iteration.
+  while (true) {
+    if (chunk_index_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_index_];
+      // Align the absolute address: chunk bases only guarantee new[]
+      // alignment, which may be below `align`.
+      const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+      const std::size_t aligned =
+          ((base + offset_ + align - 1) & ~(align - 1)) - base;
+      if (aligned + bytes <= c.size) {
+        offset_ = aligned + bytes;
+        used_ += bytes;
+        return c.data.get() + aligned;
+      }
+      ++chunk_index_;
+      offset_ = 0;
+      continue;
+    }
+    // Doubling growth keeps the chunk count logarithmic in the high-water
+    // mark; oversized requests get a dedicated chunk.
+    const std::size_t size = std::max(next_chunk_bytes_, bytes + align);
+    Chunk c;
+    c.data = std::make_unique<char[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    next_chunk_bytes_ = size * 2;
+  }
+}
+
+void Arena::reset() {
+  chunk_index_ = 0;
+  offset_ = 0;
+  used_ = 0;
+  ++resets_;
+}
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace mpcn

@@ -1,0 +1,102 @@
+// Arena: a chunked bump allocator for per-schedule transients.
+//
+// The explore hot loop runs tens of thousands of short executions per
+// second; each one allocates and frees the same small buffers (history
+// event logs, trace scratch, record staging). An Arena turns that churn
+// into pointer bumps: allocate() is a bump within the current chunk, and
+// reset() rewinds every chunk in O(chunks) without running destructors
+// or returning memory to the OS — the next schedule reuses the same
+// warm pages.
+//
+// Contract:
+//   * allocate() memory lives until the NEXT reset() (or destruction);
+//     the arena never frees individual blocks.
+//   * Trivially-destructible payloads only, or callers must run the
+//     destructors themselves before reset() (ArenaAllocator used inside
+//     a std::vector does this naturally: the vector destroys elements,
+//     deallocate() is a no-op).
+//   * NOT thread-safe. One arena per worker; workers never share one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mpcn {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 4096);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Bump-allocate `bytes` aligned to `align` (power of two). Grows by
+  // doubling chunks when the current one is exhausted; never throws
+  // except on genuine OS allocation failure.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  // Rewind every chunk to empty, retaining capacity. O(1) in bytes.
+  void reset();
+
+  // Diagnostics for tests and tuning.
+  std::size_t bytes_used() const { return used_; }      // since last reset
+  std::size_t bytes_reserved() const;                   // sum of chunks
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;  // chunk currently bumped into
+  std::size_t offset_ = 0;       // bump offset within that chunk
+  std::size_t next_chunk_bytes_;
+  std::size_t used_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+// Minimal std::allocator-compatible handle. Null arena = plain heap, so
+// a container member can be declared with this allocator type and only
+// opt into arena backing when one is supplied (HistoryRecorder does
+// exactly that). deallocate() is a no-op in arena mode: reclamation is
+// wholesale, via Arena::reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_) {
+      return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (!arena_) ::operator delete(p);
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace mpcn

@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace mpcn {
 
@@ -26,16 +27,35 @@ Value::SharedString Value::intern_string(std::string s) {
 
 Value::SharedList Value::intern_list(List l) {
   if (l.empty()) {
-    static const SharedList kEmpty = std::make_shared<List>();
+    static const SharedList kEmpty = std::make_shared<ListNode>();
     return kEmpty;
   }
-  return std::make_shared<List>(std::move(l));
+  return std::make_shared<ListNode>(std::move(l));
 }
 
 Value Value::from_shared(SharedList l) {
   Value v;
   v.rep_ = l ? std::move(l) : intern_list(List());
   return v;
+}
+
+const Value& Value::interned_nil() {
+  static const Value kNil;
+  return kNil;
+}
+
+const Value& Value::small(std::int64_t k) {
+  static const std::vector<Value> kPool = [] {
+    std::vector<Value> pool;
+    pool.reserve(256);
+    for (std::int64_t i = 0; i < 256; ++i) pool.emplace_back(i);
+    return pool;
+  }();
+  if (k < 0 || k > 255) {
+    throw std::out_of_range("Value::small expects 0..255, got " +
+                            std::to_string(k));
+  }
+  return kPool[static_cast<std::size_t>(k)];
 }
 
 Value::List& Value::detach_list() {
@@ -45,11 +65,15 @@ Value::List& Value::detach_list() {
   // which the contract already forbids. Shared (or static-empty) payloads
   // are cloned — element copies are refcount bumps.
   if (rep.use_count() != 1) {
-    rep = std::make_shared<List>(*rep);
+    rep = std::make_shared<ListNode>(*rep);  // clone starts uncached
+  } else {
+    // Handing out mutable access: whatever hash was memoized is about to
+    // go stale.
+    rep->cached_hash.store(0, std::memory_order_relaxed);
   }
-  // Safe: every payload is created via make_shared<List> (non-const
+  // Safe: every payload is created via make_shared<ListNode> (non-const
   // pointee); constness was added by the handle type only.
-  return const_cast<List&>(*rep);
+  return const_cast<List&>(rep->items);
 }
 
 Value::List Value::take_list() {
@@ -58,9 +82,9 @@ Value::List Value::take_list() {
   if (rep.use_count() == 1) {
     // Sole owner: steal the vector (payload created non-const, see
     // detach_list). No element is copied.
-    return std::move(const_cast<List&>(*rep));
+    return std::move(const_cast<List&>(rep->items));
   }
-  return *rep;  // shared: clone, each element an O(1) copy
+  return rep->items;  // shared: clone, each element an O(1) copy
 }
 
 bool Value::operator==(const Value& o) const {
@@ -78,7 +102,13 @@ bool Value::operator==(const Value& o) const {
     default: {
       const SharedList& a = std::get<SharedList>(rep_);
       const SharedList& b = std::get<SharedList>(o.rep_);
-      return a == b || *a == *b;
+      if (a == b) return true;
+      // Memoized-hash fast path: two cached, different hashes cannot be
+      // equal lists.
+      const std::size_t ha = a->cached_hash.load(std::memory_order_relaxed);
+      const std::size_t hb = b->cached_hash.load(std::memory_order_relaxed);
+      if (ha != 0 && hb != 0 && ha != hb) return false;
+      return a->items == b->items;
     }
   }
 }
@@ -110,6 +140,23 @@ bool Value::operator<(const Value& o) const {
 }
 
 std::size_t Value::hash() const {
+  if (is_list()) {
+    // Compute-once: the node caches its structural hash, so repeated
+    // hashing of a shared snapshot view (linearizability memoization,
+    // visited-prefix digests) costs one relaxed load after the first.
+    const ListNode& node = *std::get<SharedList>(rep_);
+    std::size_t h = node.cached_hash.load(std::memory_order_relaxed);
+    if (h == 0) {
+      h = hash_uncached();
+      if (h == 0) h = 1;  // reserve 0 as the "not computed" sentinel
+      node.cached_hash.store(h, std::memory_order_relaxed);
+    }
+    return h;
+  }
+  return hash_uncached();
+}
+
+std::size_t Value::hash_uncached() const {
   // FNV-style structural mix; quality is sufficient for container use.
   std::size_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::size_t v) {
@@ -121,6 +168,8 @@ std::size_t Value::hash() const {
   } else if (is_string()) {
     mix(std::hash<std::string>{}(as_string()));
   } else if (is_list()) {
+    // Elements recurse through hash(): nested shared views hit their own
+    // node caches.
     for (const Value& v : as_list()) mix(v.hash());
   }
   return h;

@@ -114,6 +114,11 @@ CellSpec CellSpec::from_cell(const ExperimentCell& cell) {
     throw ProtocolError(
         "wire: an in-process HistoryRecorder hook cannot cross the wire");
   }
+  if (cell.options.process_pool) {
+    throw ProtocolError(
+        "wire: an in-process ProcessPool cannot cross the wire; workers "
+        "own their thread pools");
+  }
   spec.schedule = cell.schedule;
   spec.record_schedule = cell.record_schedule;
   spec.check_races = cell.check_races;

@@ -1,10 +1,15 @@
 #include "src/explore/explorer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
 
+#include "src/common/arena.h"
 #include "src/common/errors.h"
 #include "src/experiment/batch_runner.h"
 #include "src/history/history.h"
+#include "src/runtime/process_pool.h"
 
 namespace mpcn {
 
@@ -116,6 +121,24 @@ ScheduleSpec spec_for(const ExploreOptions& opts, std::uint64_t horizon,
   }
   return s;
 }
+
+// Per-worker scratch, reused across every schedule the worker runs: a
+// persistent ProcessPool hosting the process bodies (spawning and
+// joining OS threads per run was ~40% of the per-schedule cost at
+// n = 2) and an arena-backed HistoryRecorder whose event buffer rewinds
+// between schedules instead of being freed. Declaration order matters:
+// `history` allocates from `arena`, so it must be destroyed first
+// (members are destroyed in reverse declaration order).
+struct WorkerScratch {
+  ProcessPool pool;
+  Arena arena;
+  std::shared_ptr<HistoryRecorder> history;
+
+  explicit WorkerScratch(int processes)
+      : pool(processes),
+        arena(1 << 14),
+        history(std::make_shared<HistoryRecorder>(&arena)) {}
+};
 
 }  // namespace
 
@@ -238,9 +261,20 @@ ExploreResult explore(const ExperimentCell& cell,
 
   const bool want_history =
       options.spec != nullptr && cell.mode == ExecutionMode::kDirect;
+  // Runs that get the pooled recorder attached: the spec oracle reads
+  // its events, and a race-checked run would otherwise allocate a fresh
+  // recorder inside run_cell every schedule.
+  const bool pass_history = want_history || options.check_races;
 
+  // One scratch per search worker. Worker 0's scratch also serves the
+  // PCT probe and the shrinker (both run on this thread), so even the
+  // sharded path builds one. The `shrink_cell` parameter lets in-process
+  // callers shrink through a pooled cell while `base` itself stays
+  // pool-free — the sharded branch ships copies of `base` over the wire,
+  // which rejects cells carrying live pools.
   auto handle_violation = [&](int index, RunRecord rec,
-                              const OracleVerdict& verdict) {
+                              const OracleVerdict& verdict,
+                              const ExperimentCell& shrink_cell) {
     ExploreViolation v;
     v.schedule_index = index;
     v.why = verdict.why;
@@ -253,7 +287,7 @@ ExploreResult explore(const ExperimentCell& cell,
       so.spec = options.spec;
       so.check_races = options.check_races;
       so.require_race = v.race;
-      ShrinkResult sr = shrink(base, v.trace, so);
+      ShrinkResult sr = shrink(shrink_cell, v.trace, so);
       v.shrunk = std::move(sr.trace);
       v.shrunk_verified = sr.verified;
       v.shrink_replays = sr.replays;
@@ -264,6 +298,36 @@ ExploreResult explore(const ExperimentCell& cell,
     return options.max_violations > 0 &&
            static_cast<int>(result.violations.size()) >=
                options.max_violations;
+  };
+
+  const int processes = std::max(1, static_cast<int>(base.inputs.size()));
+  // Bounded DFS carries one search tree across runs, so it cannot fan
+  // out — threads > 1 falls back to the serial engine (documented in
+  // ExploreOptions); random/PCT schedules are pure functions of the
+  // index and parallelize freely.
+  const bool parallel = options.shards == 0 && options.threads > 1 &&
+                        options.policy != ExplorePolicy::kBoundedDfs &&
+                        options.budget > 1;
+  const int workers =
+      parallel ? std::min(options.threads, options.budget) : 1;
+  std::vector<std::unique_ptr<WorkerScratch>> scratch;
+  scratch.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    scratch.push_back(std::make_unique<WorkerScratch>(processes));
+  }
+  // In-process runs driven from this thread (probe, serial search,
+  // shrink replays) all ride worker 0's pool.
+  ExperimentCell pooled_base = base;
+  pooled_base.options.process_pool = &scratch[0]->pool;
+
+  // Rewind a worker's scratch for the next schedule and hand out its
+  // recorder (recorder first, THEN the arena backing its buffer).
+  auto scratch_history =
+      [pass_history](WorkerScratch& s) -> std::shared_ptr<HistoryRecorder> {
+    if (!pass_history) return nullptr;
+    s.history->reset();
+    s.arena.reset();
+    return s.history;
   };
 
   // PCT horizon: probe the cell once under its own seed to learn a
@@ -277,14 +341,13 @@ ExploreResult explore(const ExperimentCell& cell,
     ScheduleSpec probe;
     probe.kind = SchedulePolicyKind::kSeededRandom;
     probe.seed = options.seed;
-    auto history =
-        want_history ? std::make_shared<HistoryRecorder>() : nullptr;
-    RunRecord rec = run_schedule(base, -1, probe, nullptr, history);
+    auto history = scratch_history(*scratch[0]);
+    RunRecord rec = run_schedule(pooled_base, -1, probe, nullptr, history);
     horizon = std::max<std::uint64_t>(rec.steps, 8);
     result.total_steps += rec.steps;
     const OracleVerdict v = judge(rec, options.spec, history);
     if (v.spec_skipped) ++result.skipped_spec_checks;
-    if (v.violated && handle_violation(-1, std::move(rec), v)) {
+    if (v.violated && handle_violation(-1, std::move(rec), v, pooled_base)) {
       result.pct_horizon = horizon;
       return result;
     }
@@ -317,40 +380,149 @@ ExploreResult explore(const ExperimentCell& cell,
         result.first_trace = *rec.schedule_trace;
       }
       const OracleVerdict v = judge(rec, nullptr, nullptr);
-      if (v.violated && handle_violation(rec.cell_index, rec, v)) {
+      if (v.violated && handle_violation(rec.cell_index, rec, v,
+                                         pooled_base)) {
         break;
       }
     }
     return result;
   }
 
-  // In-process sequential search. Bounded DFS shares one policy object
-  // across runs; random/PCT rebuild a fresh policy per schedule.
-  std::shared_ptr<BoundedDfsPolicy> dfs;
-  if (options.policy == ExplorePolicy::kBoundedDfs) {
-    dfs = std::make_shared<BoundedDfsPolicy>(options.dfs_preemption_bound,
-                                             options.dfs_max_depth);
+  if (!parallel) {
+    // In-process serial search (threads <= 1, and the bounded-DFS
+    // fallback). Bounded DFS shares one policy object across runs;
+    // random/PCT rebuild a fresh policy per schedule.
+    std::shared_ptr<BoundedDfsPolicy> dfs;
+    if (options.policy == ExplorePolicy::kBoundedDfs) {
+      dfs = std::make_shared<BoundedDfsPolicy>(options.dfs_preemption_bound,
+                                               options.dfs_max_depth);
+    }
+    for (int i = 0; i < options.budget; ++i) {
+      ScheduleSpec schedule;  // kDefault under DFS (override wins)
+      if (!dfs) schedule = spec_for(options, horizon, i);
+      if (dfs && i > 0 && !dfs->advance()) {
+        result.exhausted = true;
+        break;
+      }
+      auto history = scratch_history(*scratch[0]);
+      RunRecord rec = run_schedule(pooled_base, i, schedule, dfs, history);
+      ++result.schedules;
+      result.total_steps += rec.steps;
+      if (i == 0 && rec.schedule_trace) {
+        result.first_trace = *rec.schedule_trace;
+      }
+      const OracleVerdict v = judge(rec, options.spec, history);
+      if (v.spec_skipped) ++result.skipped_spec_checks;
+      if (v.violated && handle_violation(i, std::move(rec), v, pooled_base)) {
+        break;
+      }
+    }
+    if (dfs) {
+      result.pruned_prefixes = dfs->pruned_prefixes();
+      result.exhausted = result.exhausted || dfs->exhausted();
+    }
+    return result;
   }
+
+  // ---- parallel in-process search ----------------------------------
+  // Workers claim schedule indices from a shared counter and record
+  // per-index outcomes; the merge below walks those outcomes IN INDEX
+  // ORDER and replays the serial loop's accounting decisions, so the
+  // final report is byte-identical to the serial run (pinned by
+  // explore_parallel_test and a CI cmp leg).
+  //
+  // Early stop: the serial loop breaks at the max_violations-th violated
+  // index. Workers maintain a conservative upper bound on that index —
+  // `cutoff`, the m-th smallest violated index seen so far — and stop
+  // claiming past it. The bound only ever decreases and never drops
+  // below the true stop index, so every index the merge will visit is
+  // guaranteed to complete, while indices past the final cutoff are at
+  // worst wasted work, never missing work.
+  struct Slot {
+    std::uint64_t steps = 0;
+    bool ran = false;
+    bool spec_skipped = false;
+    OracleVerdict verdict;
+    std::unique_ptr<RunRecord> rec;  // kept for violations and index 0
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(options.budget));
+  std::atomic<int> next{0};
+  std::atomic<int> cutoff{options.budget - 1};
+  std::mutex found_m;
+  std::vector<int> violated_indices;  // sorted ascending
+
+  auto note_violation = [&](int index) {
+    if (options.max_violations <= 0) return;  // collect-all: no early stop
+    std::lock_guard<std::mutex> lk(found_m);
+    violated_indices.insert(
+        std::upper_bound(violated_indices.begin(), violated_indices.end(),
+                         index),
+        index);
+    if (static_cast<int>(violated_indices.size()) >= options.max_violations) {
+      const int bound = violated_indices[static_cast<std::size_t>(
+          options.max_violations - 1)];
+      int cur = cutoff.load();
+      while (bound < cur && !cutoff.compare_exchange_weak(cur, bound)) {
+      }
+    }
+  };
+
+  std::mutex error_m;
+  std::exception_ptr worker_error;
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    worker_threads.emplace_back([&, w] {
+      try {
+        WorkerScratch& s = *scratch[static_cast<std::size_t>(w)];
+        ExperimentCell worker_base = base;
+        worker_base.options.process_pool = &s.pool;
+        while (true) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= options.budget ||
+              i > cutoff.load(std::memory_order_relaxed)) {
+            break;
+          }
+          auto history = scratch_history(s);
+          RunRecord rec = run_schedule(worker_base, i,
+                                       spec_for(options, horizon, i),
+                                       nullptr, history);
+          Slot& slot = slots[static_cast<std::size_t>(i)];
+          slot.steps = rec.steps;
+          slot.verdict = judge(rec, options.spec, history);
+          slot.spec_skipped = slot.verdict.spec_skipped;
+          if (slot.verdict.violated || i == 0) {
+            slot.rec = std::make_unique<RunRecord>(std::move(rec));
+          }
+          slot.ran = true;
+          if (slot.verdict.violated) note_violation(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_m);
+        if (!worker_error) worker_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : worker_threads) t.join();
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  // Deterministic merge: replay the serial accounting in index order.
+  // Shrinking happens here, after the merge has decided which violations
+  // the serial run would have accepted — shrink is a pure function of
+  // (cell, trace, options), so deferring it cannot change a byte.
   for (int i = 0; i < options.budget; ++i) {
-    ScheduleSpec schedule;  // kDefault under DFS (override wins)
-    if (!dfs) schedule = spec_for(options, horizon, i);
-    if (dfs && i > 0 && !dfs->advance()) {
-      result.exhausted = true;
+    Slot& s = slots[static_cast<std::size_t>(i)];
+    if (!s.ran) break;  // only reachable past the serial stop index
+    ++result.schedules;
+    result.total_steps += s.steps;
+    if (i == 0 && s.rec && s.rec->schedule_trace) {
+      result.first_trace = *s.rec->schedule_trace;
+    }
+    if (s.spec_skipped) ++result.skipped_spec_checks;
+    if (s.verdict.violated &&
+        handle_violation(i, std::move(*s.rec), s.verdict, pooled_base)) {
       break;
     }
-    auto history =
-        want_history ? std::make_shared<HistoryRecorder>() : nullptr;
-    RunRecord rec = run_schedule(base, i, schedule, dfs, history);
-    ++result.schedules;
-    result.total_steps += rec.steps;
-    if (i == 0 && rec.schedule_trace) result.first_trace = *rec.schedule_trace;
-    const OracleVerdict v = judge(rec, options.spec, history);
-    if (v.spec_skipped) ++result.skipped_spec_checks;
-    if (v.violated && handle_violation(i, std::move(rec), v)) break;
-  }
-  if (dfs) {
-    result.pruned_prefixes = dfs->pruned_prefixes();
-    result.exhausted = result.exhausted || dfs->exhausted();
   }
   return result;
 }

@@ -22,10 +22,14 @@
 // replay.
 //
 // Scaling: random/PCT searches are embarrassingly parallel — each
-// schedule is a declarative ScheduleSpec, so explore batches fan out
-// over the existing shard wire protocol (src/dist/) exactly like
-// experiment grids. Bounded DFS carries its search tree across runs and
-// is in-process only.
+// schedule is a declarative ScheduleSpec, a pure function of its index.
+// Two fan-outs exist: `threads` runs N in-process workers (each owning
+// its own controller, policy, history recorder and process-thread pool)
+// whose per-index outcomes merge deterministically back into the serial
+// report, byte for byte; `shards` ships the batch over the subprocess
+// wire protocol (src/dist/) exactly like experiment grids. Bounded DFS
+// carries its search tree across runs and is in-process serial only
+// (threads > 1 falls back to the serial engine).
 #pragma once
 
 #include <cstdint>
@@ -83,7 +87,14 @@ struct ExploreOptions {
   // src/dist/ (random/PCT only; requires a registry-named cell).
   int shards = 0;
   std::vector<std::string> worker_argv;  // empty = fork workers
-  int threads = 0;                       // in-process pool when sharded
+  // Parallel in-process search: > 1 partitions the schedule budget by
+  // index across this many worker threads (random/PCT; bounded DFS
+  // falls back to serial — its search tree spans runs). Results merge
+  // by schedule index, so the report, violations, shrunk traces and
+  // exit codes are byte-identical to the serial run. 0/1 = serial.
+  // With shards > 0 this is instead the per-shard-runner pool size
+  // (BatchOptions::threads), as before.
+  int threads = 0;
 };
 
 struct ExploreViolation {

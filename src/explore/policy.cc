@@ -21,14 +21,14 @@ std::size_t SeededRandomPolicy::pick(const std::vector<ThreadId>& runnable,
 ScriptedPolicy::ScriptedPolicy(std::shared_ptr<const ScheduleTrace> script)
     : script_(std::move(script)) {
   if (!script_) throw ProtocolError("ScriptedPolicy needs a script trace");
+  cursor_ = script_->grants.data();
+  end_ = cursor_ + script_->grants.size();
 }
 
 std::size_t ScriptedPolicy::pick(const std::vector<ThreadId>& runnable,
                                  std::uint64_t) {
-  const std::vector<ThreadId>& grants = script_->grants;
-  while (pos_ < grants.size()) {
-    const ThreadId want = grants[pos_];
-    ++pos_;
+  while (cursor_ != end_) {
+    const ThreadId want = *cursor_++;
     const auto it = std::find(runnable.begin(), runnable.end(), want);
     if (it != runnable.end()) {
       return static_cast<std::size_t>(it - runnable.begin());

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/ids.h"
 #include "src/common/value.h"
 
@@ -26,8 +27,20 @@ struct Event {
 };
 
 // Thread-safe append-only event log.
+//
+// The explorer re-records a history per schedule; the arena-backed form
+// keeps the event buffer in a caller-owned Arena so the per-schedule
+// cycle is reset() + Arena::reset() — two pointer rewinds — instead of a
+// free/malloc pair. (Event members still own their heap payloads; the
+// arena covers the log buffer, which is the growth churn.)
 class HistoryRecorder {
  public:
+  HistoryRecorder() = default;
+  // Arena-backed buffer. The recorder must not outlive `arena`, and the
+  // caller must reset() the recorder BEFORE resetting the arena.
+  explicit HistoryRecorder(Arena* arena)
+      : arena_(arena), events_(ArenaAllocator<Event>(arena)) {}
+
   // Returns the invocation stamp to pass to complete().
   std::uint64_t begin(std::uint64_t step_clock) const { return step_clock; }
 
@@ -36,9 +49,15 @@ class HistoryRecorder {
   std::vector<Event> events() const;
   std::size_t size() const;
 
+  // Drop all events and abandon the buffer (arena memory is reclaimed by
+  // the owning Arena's reset; heap mode frees normally). The recorder is
+  // immediately reusable.
+  void reset();
+
  private:
   mutable std::mutex m_;
-  std::vector<Event> events_;
+  Arena* arena_ = nullptr;
+  std::vector<Event, ArenaAllocator<Event>> events_;
 };
 
 }  // namespace mpcn

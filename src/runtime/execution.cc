@@ -110,29 +110,40 @@ Outcome Execution::run() {
     controller_->enter(ThreadId{pid, 0});
   }
 
+  const std::function<void(int)> body = [this, &contexts](int pid) {
+    ProcessContext& ctx = *contexts[static_cast<std::size_t>(pid)];
+    try {
+      programs_[static_cast<std::size_t>(pid)](ctx);
+    } catch (const ProcessCrashed&) {
+      // The crash event: the process simply stops taking steps.
+    } catch (const SimulationHalted&) {
+      // Run ended under this thread.
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!error_) error_ = std::current_exception();
+      controller_->request_stop();
+    }
+    controller_->leave(ctx.tid());
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++threads_done_;
+    }
+    cv_.notify_all();
+  };
+
+  // Which OS thread hosts a process body is invisible to the grant
+  // schedule (the controller serializes on the step token), so borrowing
+  // pooled threads instead of spawning changes wall time only.
+  const bool pooled =
+      options_.process_pool && options_.process_pool->size() >= n_;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_));
-  for (ProcessId pid = 0; pid < n_; ++pid) {
-    threads.emplace_back([this, pid, &contexts] {
-      ProcessContext& ctx = *contexts[static_cast<std::size_t>(pid)];
-      try {
-        programs_[static_cast<std::size_t>(pid)](ctx);
-      } catch (const ProcessCrashed&) {
-        // The crash event: the process simply stops taking steps.
-      } catch (const SimulationHalted&) {
-        // Run ended under this thread.
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(m_);
-        if (!error_) error_ = std::current_exception();
-        controller_->request_stop();
-      }
-      controller_->leave(ctx.tid());
-      {
-        std::lock_guard<std::mutex> lk(m_);
-        ++threads_done_;
-      }
-      cv_.notify_all();
-    });
+  if (pooled) {
+    options_.process_pool->start(n_, body);
+  } else {
+    threads.reserve(static_cast<std::size_t>(n_));
+    for (ProcessId pid = 0; pid < n_; ++pid) {
+      threads.emplace_back([&body, pid] { body(pid); });
+    }
   }
 
   // Event-driven completion: every worker notifies cv_ when it exits, and
@@ -150,7 +161,11 @@ Outcome Execution::run() {
       cv_.wait(lk, [&] { return threads_done_ >= n_; });
     }
   }
-  for (std::thread& t : threads) t.join();
+  if (pooled) {
+    options_.process_pool->wait();
+  } else {
+    for (std::thread& t : threads) t.join();
+  }
 
   if (error_) std::rethrow_exception(error_);
   if (auto* lockstep = dynamic_cast<LockstepController*>(controller_.get())) {

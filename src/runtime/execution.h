@@ -25,6 +25,7 @@
 #include "src/common/value.h"
 #include "src/runtime/crash_plan.h"
 #include "src/runtime/process_context.h"
+#include "src/runtime/process_pool.h"
 #include "src/runtime/step_controller.h"
 
 namespace mpcn {
@@ -49,6 +50,12 @@ struct ExecutionOptions {
   // Lock-step only: capture the grant trace (one ThreadId per step) so
   // the schedule can be digested, recorded and replayed.
   bool record_schedule = false;
+  // Host the per-process bodies on this persistent pool instead of
+  // spawning one OS thread per process per run (the explore hot loop's
+  // biggest fixed cost). Non-owning; must outlive the run and have
+  // size() >= the program count (smaller pools fall back to spawning).
+  // In-process only — the shard wire rejects cells carrying a pool.
+  ProcessPool* process_pool = nullptr;
 };
 
 struct Outcome {

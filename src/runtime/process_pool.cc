@@ -1,0 +1,71 @@
+#include "src/runtime/process_pool.h"
+
+#include "src/common/errors.h"
+
+namespace mpcn {
+
+ProcessPool::ProcessPool(int threads) {
+  if (threads < 1) throw ProtocolError("ProcessPool needs >= 1 thread");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ProcessPool::~ProcessPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ProcessPool::start(int count, const std::function<void(int)>& body) {
+  if (count > size()) {
+    throw ProtocolError("ProcessPool::start: " + std::to_string(count) +
+                        " bodies exceed pool size " + std::to_string(size()));
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (remaining_ != 0) {
+      throw ProtocolError(
+          "ProcessPool::start called while a dispatch is in flight");
+    }
+    body_ = &body;
+    count_ = count;
+    remaining_ = count;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+}
+
+void ProcessPool::wait() {
+  std::unique_lock<std::mutex> lk(m_);
+  done_cv_.wait(lk, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+void ProcessPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      if (index < count_) body = body_;
+    }
+    if (!body) continue;  // this epoch dispatched fewer bodies than workers
+    (*body)(index);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      last = --remaining_ == 0;
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+}  // namespace mpcn

@@ -105,9 +105,11 @@ ParkFlag* LockstepController::maybe_grant() {
   has_holder_ = true;
   if (trace_) {
     grant_trace_.push_back(holder_);
-    std::string set;
-    for (const ThreadId& t : parked_) set += t.to_string() + ",";
-    grant_sets_.push_back(std::move(set));
+    if (trace_sets_) {
+      std::string set;
+      for (const ThreadId& t : parked_) set += t.to_string() + ",";
+      grant_sets_.push_back(std::move(set));
+    }
   }
   // Targeted wakeup: only the granted thread needs to run.
   return &slot_for(holder_);
@@ -230,6 +232,12 @@ std::vector<std::string> LockstepController::grant_sets() const {
 void LockstepController::enable_grant_trace() {
   std::lock_guard<std::mutex> lk(m_);
   trace_ = true;
+}
+
+void LockstepController::enable_grant_set_trace() {
+  std::lock_guard<std::mutex> lk(m_);
+  trace_ = true;
+  trace_sets_ = true;
 }
 
 }  // namespace mpcn

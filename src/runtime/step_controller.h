@@ -117,6 +117,10 @@ class LockstepController : public StepController {
   std::uint64_t steps() const override;
   std::vector<ThreadId> grant_trace() const override;
   void enable_grant_trace() override;
+  // Also record the full runnable set per grant (grant_sets()) — a
+  // debugging aid that costs a string allocation per step, so it is
+  // opt-in separately from the (hot-loop) grant trace.
+  void enable_grant_set_trace();
   std::vector<std::string> grant_sets() const;
 
   WaitStrategy wait_strategy() const { return wait_; }
@@ -153,6 +157,7 @@ class LockstepController : public StepController {
   bool stop_ = false;
   bool timed_out_ = false;
   bool trace_ = false;
+  bool trace_sets_ = false;
   std::string policy_error_;
   std::vector<ThreadId> grant_trace_;
   std::vector<std::string> grant_sets_;
