@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,10 +35,12 @@ const char kUsage[] =
     "  explore <scenario> --in ...  adversarial schedule search on one\n"
     "                               cell (exit 0 clean, 1 on a verdict\n"
     "                               violation, 3 when the race oracle\n"
-    "                               fires)\n"
+    "                               fires, 4 when every violation needed\n"
+    "                               an injected crash)\n"
     "  worker [--max-cells N]       JSON-lines worker on stdin/stdout\n"
     "  diff <a.json> <b.json>       compare two reports (exit 1 on\n"
-    "                               regressions)\n"
+    "                               regressions: steps, verdicts, races,\n"
+    "                               crash violations)\n"
     "\n"
     "run flags:\n"
     "  --in n,t,x        target model (required)\n"
@@ -80,6 +83,12 @@ const char kUsage[] =
     "  --pct-depth D     PCT priority-change depth (default: 3)\n"
     "  --horizon K       PCT step horizon (default: probe the cell)\n"
     "  --bound B         DFS preemption bound (default: 2)\n"
+    "  --crash-budget T  search the (schedule x crash) product: the\n"
+    "                    policy may crash up to T processes at grant\n"
+    "                    points (dfs enumerates placements; random/pct\n"
+    "                    sample them; default: 0 = schedule-only)\n"
+    "  --crash-rate P    per-grant crash probability for random/pct\n"
+    "                    product sampling (default: 0.1)\n"
     "  --check-lin       also check direct-run histories against the\n"
     "                    snapshot sequential spec (in-process only)\n"
     "  --check-races     run the happens-before race oracle over every\n"
@@ -306,7 +315,8 @@ int cmd_explore(int argc, char** argv) {
   Args args(argc, argv, 2,
             {"in", "source", "mode", "mem", "steps", "wall", "inputs",
              "policy", "budget", "seed", "max-violations", "pct-depth",
-             "horizon", "bound", "shrink-budget", "record", "replay",
+             "horizon", "bound", "crash-budget", "crash-rate",
+             "shrink-budget", "record", "replay",
              "json", "shards", "threads"},
             {"check-lin", "check-races", "no-shrink", "fork-workers"});
   if (args.positional().size() != 1) {
@@ -413,15 +423,23 @@ int cmd_explore(int argc, char** argv) {
     if (rec.raced() && why.empty()) {
       why = "race: " + rec.race_reports.front().why;
     }
+    const bool crashed =
+        std::any_of(rec.crashed.begin(), rec.crashed.end(),
+                    [](bool c) { return c; });
     std::printf("replay: %s (%llu steps, digest %s)%s\n",
-                rec.raced() ? "RACE" : (violated ? "VIOLATION" : "ok"),
+                rec.raced()
+                    ? "RACE"
+                    : (violated ? (crashed ? "CRASH VIOLATION" : "VIOLATION")
+                                : "ok"),
                 static_cast<unsigned long long>(rec.steps),
                 rec.schedule_digest.c_str(),
                 why.empty() ? "" : ("\n  " + why).c_str());
     if (rec.races_checked) {
       std::printf("races: %zu report(s)\n", rec.race_reports.size());
     }
-    return rec.raced() ? 3 : (violated ? 1 : 0);
+    if (rec.raced()) return 3;
+    if (violated) return crashed ? 4 : 1;
+    return 0;
   }
 
   // ---- search mode.
@@ -438,6 +456,14 @@ int cmd_explore(int argc, char** argv) {
   }
   opts.dfs_preemption_bound =
       static_cast<int>(parse_u64(args.value_or("bound", "2")));
+  opts.crash_budget =
+      static_cast<int>(parse_u64(args.value_or("crash-budget", "0")));
+  if (args.has("crash-rate")) {
+    if (opts.crash_budget < 1) {
+      throw ProtocolError("--crash-rate needs --crash-budget");
+    }
+    opts.crash_rate = parse_double(args.require("crash-rate"));
+  }
   opts.shrink_violations = !args.has("no-shrink");
   opts.shrink_budget =
       static_cast<int>(parse_u64(args.value_or("shrink-budget", "400")));
@@ -468,7 +494,10 @@ int cmd_explore(int argc, char** argv) {
   }
   std::fprintf(summary_out, "%s\n", result.summary().c_str());
   if (result.race_found()) return 3;
-  return result.found() ? 1 : 0;
+  if (!result.found()) return 0;
+  // Every violation needed the fault adversary: schedule-only search at
+  // the same budget would have stayed clean — a distinct outcome.
+  return result.crash_only() ? 4 : 1;
 }
 
 int cmd_diff(int argc, char** argv) {

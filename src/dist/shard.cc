@@ -75,7 +75,23 @@ struct WorkerProc {
   bool busy = false;
   std::size_t outstanding = 0;  // cell id, valid when busy
   std::chrono::steady_clock::time_point sent_at{};
+  // Churn hardening: respawn attempts this slot has consumed, and the
+  // scheduled relaunch (valid while respawn_pending).
+  int respawns = 0;
+  bool respawn_pending = false;
+  std::chrono::steady_clock::time_point respawn_at{};
 };
+
+// Doubling backoff for the (attempt+1)-th respawn of a slot, capped so a
+// crash-looping worker cannot push waits without bound.
+std::chrono::milliseconds respawn_delay(const ShardOptions& options,
+                                        int attempt) {
+  constexpr std::chrono::milliseconds kCap{1000};
+  std::chrono::milliseconds d = options.respawn_backoff;
+  if (d <= std::chrono::milliseconds::zero()) return {};
+  for (int i = 0; i < attempt && d < kCap; ++i) d *= 2;
+  return std::min(d, kCap);
+}
 
 void close_fd(int& fd) {
   if (fd >= 0) {
@@ -252,6 +268,13 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       w.busy = false;
       if (!seen[w.outstanding]) pending.push_front(w.outstanding);
     }
+    // Schedule the slot's relaunch while respawn budget remains; the
+    // backoff doubles with every attempt already spent.
+    if (w.respawns < options.max_respawns) {
+      w.respawn_pending = true;
+      w.respawn_at = std::chrono::steady_clock::now() +
+                     respawn_delay(options, w.respawns);
+    }
     std::fprintf(stderr, "[shard] worker written off (%s); requeueing\n",
                  why);
   };
@@ -294,6 +317,40 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
   };
 
   while (done < cells.size()) {
+    // Churn hardening: relaunch written-off slots whose backoff expired.
+    // The fresh subprocess inherits the slot's fault-injection quota
+    // (spawn_worker keys worker_max_cells by slot index).
+    const auto respawn_now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      WorkerProc& w = workers[i];
+      if (!w.respawn_pending || respawn_now < w.respawn_at) continue;
+      w.respawn_pending = false;
+      ++w.respawns;
+      std::vector<int> live_fds;
+      for (const WorkerProc& o : workers) {
+        if (o.alive && o.fd >= 0) live_fds.push_back(o.fd);
+      }
+      try {
+        const WorkerProc fresh =
+            spawn_worker(options, static_cast<int>(i), live_fds);
+        w.pid = fresh.pid;
+        w.fd = fresh.fd;
+        w.alive = true;
+        w.busy = false;
+        w.inbuf.clear();
+        std::fprintf(stderr,
+                     "[shard] worker slot %zu respawned (attempt %d/%d)\n",
+                     i, w.respawns, options.max_respawns);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[shard] respawn of slot %zu failed: %s\n", i,
+                     e.what());
+        if (w.respawns < options.max_respawns) {
+          w.respawn_pending = true;
+          w.respawn_at = respawn_now + respawn_delay(options, w.respawns);
+        }
+      }
+    }
+
     // Dispatch: one outstanding cell per live worker; streaming the next
     // cell only on completion makes the load self-balancing.
     for (WorkerProc& w : workers) {
@@ -317,7 +374,29 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       fds.push_back(pollfd{workers[i].fd, POLLIN, 0});
       owner.push_back(i);
     }
-    if (fds.empty()) break;  // no survivors: fall back below
+    if (fds.empty()) {
+      // No live workers. A still-scheduled respawn means the pool is only
+      // napping: sleep out the nearest backoff and loop. Otherwise the
+      // pool has drained for good — fall back below.
+      bool have_next = false;
+      std::chrono::steady_clock::time_point next{};
+      for (const WorkerProc& w : workers) {
+        if (!w.respawn_pending) continue;
+        if (!have_next || w.respawn_at < next) next = w.respawn_at;
+        have_next = true;
+      }
+      if (!have_next) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (next > now) {
+        const auto wait_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(next -
+                                                                  now)
+                .count();
+        ::usleep(static_cast<useconds_t>(
+            std::min<long long>(wait_us + 1000, 1'100'000)));
+      }
+      continue;
+    }
 
     // The watchdog deadline scales with the cell's own wall_limit: a
     // worker is presumed hung only once its cell has exceeded the
@@ -337,6 +416,20 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
                 .count();
         const long long remaining =
             effective_timeout_ms(w.outstanding) - elapsed;
+        const int r = static_cast<int>(std::max<long long>(remaining, 0)) + 1;
+        timeout_ms = timeout_ms < 0 ? r : std::min(timeout_ms, r);
+      }
+    }
+    {
+      // Scheduled respawns also bound the poll: a napping slot must come
+      // back on time even if no worker event ever arrives.
+      const auto now = std::chrono::steady_clock::now();
+      for (const WorkerProc& w : workers) {
+        if (!w.respawn_pending) continue;
+        const long long remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                w.respawn_at - now)
+                .count();
         const int r = static_cast<int>(std::max<long long>(remaining, 0)) + 1;
         timeout_ms = timeout_ms < 0 ? r : std::min(timeout_ms, r);
       }
@@ -386,9 +479,19 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
     w.alive = false;
   }
 
-  // Degraded mode: every worker died with cells unserved. A sharded run
-  // may get slower, but it never loses cells.
+  // Degraded mode: every worker died with every respawn budget spent and
+  // cells unserved. Either fail cleanly or run the remainder in-process —
+  // a sharded run may get slower, but it never loses cells.
   if (done < cells.size()) {
+    if (!options.fallback_in_process) {
+      throw ProtocolError(
+          "run_sharded: worker pool drained (" +
+          std::to_string(workers.size()) + " slot(s) dead after " +
+          std::to_string(options.max_respawns) +
+          " respawn(s) each) with " +
+          std::to_string(cells.size() - done) +
+          " cells unserved and fallback_in_process disabled");
+    }
     std::fprintf(stderr,
                  "[shard] %zu cells had no surviving worker; running them "
                  "in-process\n",

@@ -12,9 +12,14 @@
 //     onto the surviving workers;
 //   * a worker whose outstanding cell overruns its own wall_limit plus
 //     the watchdog grace is SIGKILLed and treated the same;
-//   * if every worker is gone and cells remain, the coordinator runs the
-//     remainder in-process — a sharded run degrades, it never loses
-//     cells.
+//   * a written-off worker's SLOT is respawned (fresh subprocess, same
+//     fault-injection quota) after a capped exponential backoff, up to
+//     max_respawns attempts per slot — transient churn shrinks the pool
+//     only temporarily;
+//   * if every worker is gone, every respawn budget is spent and cells
+//     remain, the coordinator runs the remainder in-process — a sharded
+//     run degrades, it never loses cells (set fallback_in_process =
+//     false to get a clean ProtocolError instead).
 //
 // The merged Report is reassembled in grid order via Report::merge
 // (keyed by cell_index, duplicate-tolerant for cells that completed on
@@ -62,6 +67,19 @@ struct ShardOptions {
   // is requeued. Scaling with wall_limit means a cell the user allowed
   // to run five minutes is never killed after two. <= 0 disables.
   std::chrono::milliseconds watchdog_grace{30'000};
+  // Churn hardening: how many times each worker SLOT may be respawned
+  // after a write-off (0 = never, pre-respawn behavior). A respawned
+  // worker inherits its slot's worker_max_cells quota.
+  int max_respawns = 2;
+  // First respawn of a slot waits this long; each further attempt
+  // doubles the wait, capped at one second — so a crash-looping worker
+  // cannot hot-spin the coordinator.
+  std::chrono::milliseconds respawn_backoff{25};
+  // With the pool fully drained (all workers dead, all respawn budgets
+  // spent) and cells unserved: true = run the remainder in-process
+  // (never lose cells), false = throw ProtocolError (fail cleanly, e.g.
+  // when in-process execution would mask a systemic worker problem).
+  bool fallback_in_process = true;
   // Report title ("" = derived from the first labeled cell, as
   // BatchRunner does — keeping sharded and in-process reports
   // byte-identical).

@@ -1,9 +1,22 @@
 #include "src/experiment/diff.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
 namespace mpcn {
+
+namespace {
+
+// A "crash violation": the record failed AND its run realized at least
+// one process crash — the failure needed the fault adversary.
+bool crash_violation(const RunRecord& r) {
+  return !r.ok() &&
+         std::any_of(r.crashed.begin(), r.crashed.end(),
+                     [](bool c) { return c; });
+}
+
+}  // namespace
 
 std::string record_identity(const RunRecord& r) {
   std::ostringstream key;
@@ -47,6 +60,8 @@ ReportDiff diff_reports(const Report& a, const Report& b) {
     d.races_checked_b = rb.races_checked;
     d.races_a = static_cast<int>(ra.race_reports.size());
     d.races_b = static_cast<int>(rb.race_reports.size());
+    d.crash_violation_a = crash_violation(ra);
+    d.crash_violation_b = crash_violation(rb);
     d.wall_ms_a = ra.wall_ms;
     d.wall_ms_b = rb.wall_ms;
     if (d.step_regression()) ++diff.step_regressions;
@@ -55,6 +70,8 @@ ReportDiff diff_reports(const Report& a, const Report& b) {
     if (d.verdict_fix()) ++diff.verdict_fixes;
     if (d.race_regression()) ++diff.race_regressions;
     if (d.race_fix()) ++diff.race_fixes;
+    if (d.crash_regression()) ++diff.crash_regressions;
+    if (d.crash_fix()) ++diff.crash_fixes;
     if (d.changed()) diff.changed.push_back(std::move(d));
   }
   for (const auto& [key, records] : b_by_key) {
@@ -85,15 +102,25 @@ std::string ReportDiff::summary() const {
       if (d.race_regression()) out << " [RACE REGRESSION]";
       if (d.race_fix()) out << " [race fixed]";
     }
+    if (d.crash_regression() || d.crash_fix()) {
+      out << ", crash violation "
+          << (d.crash_violation_a ? "yes" : "no") << " -> "
+          << (d.crash_violation_b ? "yes" : "no");
+      if (d.crash_regression()) out << " [CRASH REGRESSION]";
+      if (d.crash_fix()) out << " [crash fixed]";
+    }
     out << "\n";
   }
-  const bool improvements =
-      step_improvements > 0 || verdict_fixes > 0 || race_fixes > 0;
+  const bool improvements = step_improvements > 0 || verdict_fixes > 0 ||
+                            race_fixes > 0 || crash_fixes > 0;
   std::ostringstream improved;
   if (improvements) {
     improved << " (" << step_improvements << " step improvement(s), "
              << verdict_fixes << " verdict fix(es)";
     if (race_fixes > 0) improved << ", " << race_fixes << " race fix(es)";
+    if (crash_fixes > 0) {
+      improved << ", " << crash_fixes << " crash fix(es)";
+    }
     improved << ")";
   }
   if (has_regressions()) {
@@ -101,6 +128,9 @@ std::string ReportDiff::summary() const {
         << " verdict regression(s)";
     if (race_regressions > 0) {
       out << ", " << race_regressions << " race regression(s)";
+    }
+    if (crash_regressions > 0) {
+      out << ", " << crash_regressions << " crash regression(s)";
     }
     out << improved.str();
   } else {
@@ -118,6 +148,8 @@ Json ReportDiff::to_json() const {
       .set("verdict_fixes", verdict_fixes)
       .set("race_regressions", race_regressions)
       .set("race_fixes", race_fixes)
+      .set("crash_regressions", crash_regressions)
+      .set("crash_fixes", crash_fixes)
       .set("wall_ms_a", wall_ms_a)
       .set("wall_ms_b", wall_ms_b)
       .set("has_regressions", has_regressions());
@@ -133,6 +165,10 @@ Json ReportDiff::to_json() const {
         .set("wall_ms_b", d.wall_ms_b);
     if (d.races_checked_a && d.races_checked_b) {
       c.set("races_a", d.races_a).set("races_b", d.races_b);
+    }
+    if (d.crash_regression() || d.crash_fix()) {
+      c.set("crash_violation_a", d.crash_violation_a)
+          .set("crash_violation_b", d.crash_violation_b);
     }
     changed_arr.push(std::move(c));
   }

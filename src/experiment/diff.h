@@ -19,6 +19,11 @@
 //               races than A. Fewer races is a fix (listed in the
 //               changed cells, never a regression); a checked record
 //               against an unchecked one compares nothing.
+//   * crashes — B is a crash violation (failed AND realized at least one
+//               process crash) where A was not: a fault-injection
+//               finding appeared. The reverse is a fix. Unlike races
+//               this needs no gating flag — both sides of the predicate
+//               come from fields every record carries.
 #pragma once
 
 #include <string>
@@ -43,6 +48,10 @@ struct CellDelta {
   bool races_checked_b = false;
   int races_a = 0;
   int races_b = 0;
+  // The record failed AND at least one process crashed in its run: the
+  // failure involved the fault adversary.
+  bool crash_violation_a = false;
+  bool crash_violation_b = false;
   double wall_ms_a = 0.0;
   double wall_ms_b = 0.0;
 
@@ -58,9 +67,13 @@ struct CellDelta {
   bool race_fix() const {
     return races_checked_a && races_checked_b && races_b < races_a;
   }
+  bool crash_regression() const {
+    return !crash_violation_a && crash_violation_b;
+  }
+  bool crash_fix() const { return crash_violation_a && !crash_violation_b; }
   bool changed() const {
     return steps_a != steps_b || ok_a != ok_b || race_regression() ||
-           race_fix();
+           race_fix() || crash_regression() || crash_fix();
   }
 };
 
@@ -75,12 +88,14 @@ struct ReportDiff {
   int verdict_fixes = 0;
   int race_regressions = 0;  // cells where B reports more races than A
   int race_fixes = 0;        // cells where B reports fewer races than A
+  int crash_regressions = 0;  // cells where B is a crash violation, A not
+  int crash_fixes = 0;        // cells where A was a crash violation, B not
   double wall_ms_a = 0.0;    // total over matched cells
   double wall_ms_b = 0.0;
 
   bool has_regressions() const {
     return step_regressions > 0 || verdict_regressions > 0 ||
-           race_regressions > 0;
+           race_regressions > 0 || crash_regressions > 0;
   }
 
   // Multi-line human summary; contains the literal phrase

@@ -106,6 +106,7 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
   ScheduleTrace grants;
   if (options.record_schedule && options.mode == SchedulerMode::kLockstep) {
     grants.grants = exec.controller().grant_trace();
+    grants.crashes = exec.controller().crash_marks();
   }
   if (cell.record_schedule && options.mode == SchedulerMode::kLockstep) {
     auto trace = std::make_shared<ScheduleTrace>(grants);
@@ -116,6 +117,10 @@ RunRecord run_cell_throwing(const ExperimentCell& cell) {
     rec.races_checked = true;
     rec.race_reports = find_races(history->events(), grants);
   }
+  // Crash reproducibility: the effective plan plus the crashes the run
+  // realized, so any crashing run replays exactly from its report.
+  rec.crash_plan = options.crashes;
+  rec.crash_points = exec.crashes().realized();
   rec.decisions = std::move(out.decisions);
   rec.crashed = std::move(out.crashed);
   rec.timed_out = out.timed_out;

@@ -143,6 +143,18 @@ Json RunRecord::to_json(bool include_timing) const {
   // byte-identical to pre-explorer builds.
   if (!schedule_digest.empty()) j.set("schedule_digest", schedule_digest);
   if (schedule_trace) j.set("schedule_trace", schedule_trace->to_json());
+  // Crash adversary only when one ran: crash-free reports keep their
+  // pre-crash bytes.
+  if (!crash_plan.is_none()) j.set("crash_plan", crash_plan.to_json());
+  if (!crash_points.empty()) {
+    Json points = Json::array();
+    for (const CrashPoint& cp : crash_points) {
+      Json p = Json::object();
+      p.set("pid", cp.pid).set("at_step", static_cast<std::int64_t>(cp.at_step));
+      points.push(std::move(p));
+    }
+    j.set("crash_points", std::move(points));
+  }
   // Race-oracle fields only when the cell asked for the analysis; the
   // empty-report array still serializes so "checked and clean" survives
   // the round trip.
@@ -204,6 +216,16 @@ RunRecord RunRecord::from_json(const Json& j) {
   if (const Json* t = j.find("schedule_trace")) {
     r.schedule_trace =
         std::make_shared<const ScheduleTrace>(ScheduleTrace::from_json(*t));
+  }
+  if (const Json* cp = j.find("crash_plan")) {
+    r.crash_plan = CrashPlan::from_json(*cp);
+  }
+  if (const Json* pts = j.find("crash_points")) {
+    for (const Json& p : pts->items()) {
+      r.crash_points.push_back(
+          CrashPoint{static_cast<ProcessId>(p.at("pid").as_int()),
+                     static_cast<std::uint64_t>(p.at("at_step").as_int())});
+    }
   }
   if (const Json* rc = j.find("races_checked")) {
     r.races_checked = rc->as_bool();

@@ -98,6 +98,15 @@ struct RunRecord {
   std::string schedule_digest;  // "" = schedule not recorded
   std::shared_ptr<const ScheduleTrace> schedule_trace;  // may be null
 
+  // The crash adversary, when the cell ran under one: the effective plan
+  // (seed included, so hazard runs can be re-randomized identically) and
+  // the crashes the run actually realized as (pid, own-step) points —
+  // replaying those as CrashPlan::fixed reproduces the exact failure
+  // pattern from the report alone. Both serialize only when non-trivial,
+  // so crash-free reports keep their pre-crash bytes.
+  CrashPlan crash_plan = CrashPlan::none();
+  std::vector<CrashPoint> crash_points;
+
   // Race-oracle verdict (src/analysis/), populated when the cell asked
   // for it (ExperimentCell::check_races). races_checked distinguishes
   // "analyzed, zero races" from "never analyzed"; both fields serialize

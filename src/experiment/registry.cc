@@ -118,6 +118,30 @@ std::vector<Scenario> build_registry() {
       /*colored=*/false});
 
   reg.push_back(Scenario{
+      "safe_agreement_window",
+      "fault-exploration exhibit: claim/commit safe agreement whose only "
+      "weakness is a crash between the two announcement steps — clean "
+      "under every crash-free schedule, livelocked when a crash strands a "
+      "claim. The (schedule x crash) product search's known target",
+      /*axis=*/"x=1 t>=1 n>=2",
+      [](const ModelSpec& m) {
+        require_rw_source("safe_agreement_window", m);
+        if (m.t < 1) {
+          throw ProtocolError(
+              "safe_agreement_window is a crash exhibit: source model must "
+              "have t >= 1, got " +
+              m.to_string());
+        }
+        return safe_agreement_window_algorithm(m.n, m.t);
+      },
+      [](const ModelSpec& m) -> std::shared_ptr<const ColorlessTask> {
+        // k = n makes agreement vacuous; the exhibit can only fail on
+        // LIVENESS, exactly when a crash strands a claim mid-window.
+        return std::make_shared<KSetAgreementTask>(m.n);
+      },
+      /*colored=*/false});
+
+  reg.push_back(Scenario{
       "snapshot_renaming",
       "wait-free snapshot-based adaptive (2n-1)-renaming (colored)",
       /*axis=*/"x=1",

@@ -40,9 +40,17 @@ constexpr std::size_t kSpecOpCap = 64;  // linearizability checker limit
 struct OracleVerdict {
   bool violated = false;
   bool spec_skipped = false;
-  bool race = false;  // the race oracle flagged the run
+  bool race = false;     // the race oracle flagged the run
+  bool crashed = false;  // the run realized at least one crash
   std::string why;
 };
+
+bool any_crashed(const RunRecord& rec) {
+  for (bool c : rec.crashed) {
+    if (c) return true;
+  }
+  return false;
+}
 
 std::string race_why(const RunRecord& rec) {
   std::string why = "race: " + rec.race_reports.front().why;
@@ -61,6 +69,7 @@ OracleVerdict judge(const RunRecord& rec,
                     const std::shared_ptr<HistoryRecorder>& history) {
   OracleVerdict v;
   v.race = rec.raced();
+  v.crashed = any_crashed(rec);
   if (!rec.ok()) {
     v.violated = true;
     if (!rec.error.empty()) {
@@ -151,8 +160,44 @@ RunRecord replay_trace(const ExperimentCell& cell,
   replay.schedule = std::move(s);
   replay.policy_override = nullptr;
   replay.record_schedule = true;
+  if (!trace.crashes.empty() && replay.options.crashes.is_none()) {
+    // Crash marks need a director to land: attach an explored plan sized
+    // to the recorded crashes so the trace replays from the report alone.
+    replay.options.crashes = CrashPlan::explored(
+        static_cast<int>(trace.crashes.size()));
+  }
   return run_cell(replay);
 }
+
+namespace {
+
+// Shrink works over (grant, crash-here) pairs so crash marks travel with
+// their grants through every ddmin candidate.
+using TraceEntry = std::pair<ThreadId, bool>;
+
+std::vector<TraceEntry> to_entries(const ScheduleTrace& trace) {
+  std::vector<TraceEntry> entries;
+  entries.reserve(trace.grants.size());
+  for (const ThreadId& t : trace.grants) entries.emplace_back(t, false);
+  for (std::uint64_t c : trace.crashes) {
+    entries[static_cast<std::size_t>(c)].second = true;
+  }
+  return entries;
+}
+
+ScheduleTrace to_trace(const std::vector<TraceEntry>& entries) {
+  ScheduleTrace trace;
+  trace.grants.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    trace.grants.push_back(entries[i].first);
+    if (entries[i].second) {
+      trace.crashes.push_back(static_cast<std::uint64_t>(i));
+    }
+  }
+  return trace;
+}
+
+}  // namespace
 
 ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
                     const ShrinkOptions& options) {
@@ -160,7 +205,7 @@ ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
   const bool want_history =
       options.spec && cell.mode == ExecutionMode::kDirect;
 
-  auto fails = [&](const std::vector<ThreadId>& grants,
+  auto fails = [&](const std::vector<TraceEntry>& entries,
                    bool force) -> bool {
     if (!force && result.replays >= options.max_replays) return false;
     ++result.replays;
@@ -168,19 +213,28 @@ ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
     candidate.policy_override = nullptr;
     ScheduleSpec s;
     s.kind = SchedulePolicyKind::kScripted;
-    s.script = std::make_shared<const ScheduleTrace>(ScheduleTrace{grants});
+    auto script = std::make_shared<const ScheduleTrace>(to_trace(entries));
+    const bool has_crashes = !script->crashes.empty();
+    s.script = std::move(script);
     candidate.schedule = std::move(s);
     candidate.record_schedule = false;
     candidate.check_races = options.check_races;
+    if (has_crashes && candidate.options.crashes.is_none()) {
+      // Crash marks need a director to land (same rule as replay_trace).
+      candidate.options.crashes = CrashPlan::explored(
+          static_cast<int>(candidate.schedule.script->crashes.size()));
+    }
     auto history =
         want_history ? std::make_shared<HistoryRecorder>() : nullptr;
     candidate.history = history;
     const RunRecord rec = run_cell(candidate);
     const OracleVerdict verdict = judge(rec, options.spec, history);
-    return options.require_race ? verdict.race : verdict.violated;
+    if (options.require_race && !verdict.race) return false;
+    if (options.require_crash && !verdict.crashed) return false;
+    return verdict.violated;
   };
 
-  std::vector<ThreadId> current = failing.grants;
+  std::vector<TraceEntry> current = to_entries(failing);
   if (!fails(current, /*force=*/true)) {
     // Not reproducible through scripted replay: hand the trace back
     // unshrunk and say so.
@@ -195,7 +249,7 @@ ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
     const std::size_t chunk = (current.size() + n - 1) / n;
     bool reduced = false;
     for (std::size_t start = 0; start < current.size(); start += chunk) {
-      std::vector<ThreadId> candidate;
+      std::vector<TraceEntry> candidate;
       candidate.reserve(current.size());
       candidate.insert(candidate.end(), current.begin(),
                        current.begin() + static_cast<long>(start));
@@ -216,10 +270,20 @@ ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
     }
   }
 
-  result.trace = ScheduleTrace{std::move(current)};
+  // Crash-point minimization: try clearing each surviving crash mark
+  // individually (keeping its grant), so the counterexample carries only
+  // the crashes the failure actually needs.
+  for (std::size_t i = 0;
+       i < current.size() && result.replays < options.max_replays; ++i) {
+    if (!current[i].second) continue;
+    current[i].second = false;
+    if (!fails(current, /*force=*/false)) current[i].second = true;
+  }
+
+  result.trace = to_trace(current);
   // The shrinker's guarantee: the artifact it hands back has just been
   // seen failing, one final replay, budget-exempt.
-  result.verified = fails(result.trace.grants, /*force=*/true);
+  result.verified = fails(current, /*force=*/true);
   return result;
 }
 
@@ -232,6 +296,13 @@ ExploreResult explore(const ExperimentCell& cell,
   }
   if (options.budget < 1) {
     throw ProtocolError("explore needs budget >= 1");
+  }
+  if (options.crash_budget < 0) {
+    throw ProtocolError("explore needs crash-budget >= 0");
+  }
+  if (options.crash_budget > 0 &&
+      (options.crash_rate < 0.0 || options.crash_rate > 1.0)) {
+    throw ProtocolError("explore needs crash-rate in [0, 1]");
   }
   if (options.shards > 0) {
     if (options.policy == ExplorePolicy::kBoundedDfs) {
@@ -258,6 +329,14 @@ ExploreResult explore(const ExperimentCell& cell,
   // the race-oracle flag rides along everywhere uniformly.
   ExperimentCell base = cell;
   base.check_races = options.check_races;
+  // Product search: every run gets the explored plan, so the schedule
+  // policy decides crashes at each grant within this budget. The plan is
+  // part of the cell, so it ships over the shard wire unchanged and the
+  // sharded search stays byte-identical to the in-process one.
+  if (options.crash_budget > 0) {
+    base.options.crashes =
+        CrashPlan::explored(options.crash_budget, options.crash_rate);
+  }
 
   const bool want_history =
       options.spec != nullptr && cell.mode == ExecutionMode::kDirect;
@@ -279,6 +358,7 @@ ExploreResult explore(const ExperimentCell& cell,
     v.schedule_index = index;
     v.why = verdict.why;
     v.race = verdict.race;
+    v.crashed = verdict.crashed;
     if (rec.schedule_trace) v.trace = *rec.schedule_trace;
     v.record = std::move(rec);
     if (options.shrink_violations && !v.trace.empty()) {
@@ -287,6 +367,7 @@ ExploreResult explore(const ExperimentCell& cell,
       so.spec = options.spec;
       so.check_races = options.check_races;
       so.require_race = v.race;
+      so.require_crash = v.crashed;
       ShrinkResult sr = shrink(shrink_cell, v.trace, so);
       v.shrunk = std::move(sr.trace);
       v.shrunk_verified = sr.verified;
@@ -542,6 +623,21 @@ int ExploreResult::race_reports() const {
   return n;
 }
 
+bool ExploreResult::crash_found() const {
+  for (const ExploreViolation& v : violations) {
+    if (v.crashed) return true;
+  }
+  return false;
+}
+
+bool ExploreResult::crash_only() const {
+  if (violations.empty()) return false;
+  for (const ExploreViolation& v : violations) {
+    if (!v.crashed) return false;
+  }
+  return true;
+}
+
 Json ExploreResult::to_json(bool include_traces) const {
   Json j = Json::object();
   j.set("policy", to_string(policy))
@@ -551,6 +647,8 @@ Json ExploreResult::to_json(bool include_traces) const {
       .set("violations", static_cast<std::int64_t>(violations.size()))
       .set("race_found", race_found())
       .set("race_reports", race_reports())
+      .set("crash_found", crash_found())
+      .set("crash_only", crash_only())
       .set("total_steps", static_cast<std::int64_t>(total_steps))
       .set("pct_horizon", static_cast<std::int64_t>(pct_horizon))
       .set("pruned_prefixes", static_cast<std::int64_t>(pruned_prefixes))
@@ -561,6 +659,7 @@ Json ExploreResult::to_json(bool include_traces) const {
     vj.set("schedule_index", v.schedule_index)
         .set("why", v.why)
         .set("race", v.race)
+        .set("crashed", v.crashed)
         .set("races", static_cast<std::int64_t>(v.record.race_reports.size()))
         .set("trace_len", static_cast<std::int64_t>(v.trace.size()))
         .set("trace_digest", v.trace.digest())
@@ -590,6 +689,9 @@ std::string ExploreResult::summary() const {
   s += ", " + std::to_string(violations.size()) + " violation(s)";
   if (race_found()) {
     s += ", " + std::to_string(race_reports()) + " race report(s)";
+  }
+  if (crash_found()) {
+    s += crash_only() ? ", all crash-dependent" : ", some crash-dependent";
   }
   const ExploreViolation& v = violations.front();
   s += "; first: " + v.why + ", trace " + std::to_string(v.trace.size()) +

@@ -69,6 +69,16 @@ struct ExploreOptions {
   int dfs_preemption_bound = 2;
   std::size_t dfs_max_depth = 4096;
 
+  // > 0: search the (schedule × crash) product. The cell runs under
+  // CrashPlan::explored(crash_budget, crash_rate): at each grant the
+  // policy also decides whether the granted process crashes, within this
+  // budget of at most crash_budget process crashes. Bounded DFS
+  // enumerates crash placements systematically (ignoring crash_rate);
+  // random/PCT sample them at crash_rate per grant. 0 = schedule-only
+  // (the cell's own crash plan, usually none, applies unchanged).
+  int crash_budget = 0;
+  double crash_rate = 0.1;
+
   bool shrink_violations = true;
   int shrink_budget = 400;  // max replays per violation
 
@@ -106,6 +116,10 @@ struct ExploreViolation {
   // racy_register torn read breaks validity); `race` lets the CLI exit
   // distinctly either way.
   bool race = false;
+  // The failing run realized at least one crash (product searches): the
+  // violation needed the fault adversary, not just the schedule — the
+  // CLI exits distinctly on crash-only findings.
+  bool crashed = false;
   ScheduleTrace trace;      // the counterexample schedule
   ScheduleTrace shrunk;     // == trace when shrinking is off or failed
   bool shrunk_verified = false;  // the shrunk trace re-failed on replay
@@ -132,6 +146,13 @@ struct ExploreResult {
   bool race_found() const;
   int race_reports() const;
 
+  // Any violation whose run realized a crash / every violation did. The
+  // CLI uses crash_only() for its crash-violation exit code: when all
+  // findings needed the fault adversary, schedule-only search at the
+  // same budget would have stayed clean.
+  bool crash_found() const;
+  bool crash_only() const;
+
   Json to_json(bool include_traces = true) const;
   std::string summary() const;
 };
@@ -147,7 +168,9 @@ ExploreResult explore(const ExperimentCell& cell,
 // recording on). The returned record's schedule_trace is the OBSERVED
 // grant trace — byte-identical to `trace` when the run is deterministic
 // and the trace was recorded from this cell, which is what the CI
-// record -> replay `cmp` leg pins.
+// record -> replay `cmp` leg pins. A trace carrying crash marks replays
+// them too: if the cell has no crash plan of its own, an explored plan
+// sized to the trace's crash count is attached automatically.
 RunRecord replay_trace(const ExperimentCell& cell,
                        const ScheduleTrace& trace);
 
@@ -163,6 +186,10 @@ struct ShrinkOptions {
   // exhibits a RACE (not merely any violation), so shrinking a race
   // counterexample cannot drift onto a race-free failure mode.
   bool require_race = false;
+  // A candidate only counts as failing if its run still realizes a
+  // CRASH: shrinking a fault-injection counterexample cannot drift onto
+  // a crash-free failure mode (the crash analogue of require_race).
+  bool require_crash = false;
 };
 
 struct ShrinkResult {
@@ -171,9 +198,12 @@ struct ShrinkResult {
   bool verified = false; // final replay of `trace` still failed
 };
 
-// ddmin the failing trace to a locally-minimal counterexample. If
-// `failing` does not reproduce the failure on the first replay, returns
-// it unchanged with verified = false.
+// ddmin the failing trace to a locally-minimal counterexample. Crash
+// marks travel with their grants through the minimization, and a final
+// pass tries to clear each surviving mark individually — so the result
+// is minimal over grants AND crash points. If `failing` does not
+// reproduce the failure on the first replay, returns it unchanged with
+// verified = false.
 ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
                     const ShrinkOptions& options = {});
 

@@ -16,6 +16,17 @@ std::size_t SeededRandomPolicy::pick(const std::vector<ThreadId>& runnable,
   return rng_.index(runnable.size());
 }
 
+GrantChoice SeededRandomPolicy::pick_crashing(
+    const std::vector<ThreadId>& runnable, std::uint64_t step,
+    CrashDirector* director) {
+  GrantChoice choice{pick(runnable, step), false};
+  if (director && director->budget_remaining() > 0 &&
+      director->crashable(runnable[choice.index].pid)) {
+    choice.crash = rng_.chance(director->rate());
+  }
+  return choice;
+}
+
 // ----------------------------------------------------------- Scripted
 
 ScriptedPolicy::ScriptedPolicy(std::shared_ptr<const ScheduleTrace> script)
@@ -23,20 +34,38 @@ ScriptedPolicy::ScriptedPolicy(std::shared_ptr<const ScheduleTrace> script)
   if (!script_) throw ProtocolError("ScriptedPolicy needs a script trace");
   cursor_ = script_->grants.data();
   end_ = cursor_ + script_->grants.size();
+  crash_cursor_ = script_->crashes.data();
+  crash_end_ = crash_cursor_ + script_->crashes.size();
 }
 
 std::size_t ScriptedPolicy::pick(const std::vector<ThreadId>& runnable,
-                                 std::uint64_t) {
+                                 std::uint64_t step) {
+  return pick_crashing(runnable, step, nullptr).index;
+}
+
+GrantChoice ScriptedPolicy::pick_crashing(
+    const std::vector<ThreadId>& runnable, std::uint64_t,
+    CrashDirector*) {
   while (cursor_ != end_) {
+    const std::uint64_t pos =
+        static_cast<std::uint64_t>(cursor_ - script_->grants.data());
     const ThreadId want = *cursor_++;
+    // Crash marks of skipped entries are dropped with them (the marks
+    // are ascending, so a single forward cursor suffices).
+    while (crash_cursor_ != crash_end_ && *crash_cursor_ < pos) {
+      ++crash_cursor_;
+    }
+    const bool marked = crash_cursor_ != crash_end_ && *crash_cursor_ == pos;
     const auto it = std::find(runnable.begin(), runnable.end(), want);
     if (it != runnable.end()) {
-      return static_cast<std::size_t>(it - runnable.begin());
+      if (marked) ++crash_cursor_;
+      return GrantChoice{static_cast<std::size_t>(it - runnable.begin()),
+                         marked};
     }
     ++skipped_;
   }
   ++fallback_;
-  return 0;  // lowest runnable ThreadId (runnable is sorted)
+  return GrantChoice{0, false};  // lowest runnable ThreadId (sorted)
 }
 
 // ---------------------------------------------------------------- PCT
@@ -82,6 +111,17 @@ std::size_t PctPolicy::pick(const std::vector<ThreadId>& runnable,
   return leader();
 }
 
+GrantChoice PctPolicy::pick_crashing(const std::vector<ThreadId>& runnable,
+                                     std::uint64_t step,
+                                     CrashDirector* director) {
+  GrantChoice choice{pick(runnable, step), false};
+  if (director && director->budget_remaining() > 0 &&
+      director->crashable(runnable[choice.index].pid)) {
+    choice.crash = rng_.chance(director->rate());
+  }
+  return choice;
+}
+
 // --------------------------------------------------------- BoundedDfs
 
 BoundedDfsPolicy::BoundedDfsPolicy(int preemption_bound,
@@ -110,6 +150,9 @@ std::string BoundedDfsPolicy::prefix_digest() const {
   ScheduleTrace prefix;
   prefix.grants.reserve(prefix_len_);
   for (std::size_t i = 0; i < prefix_len_; ++i) {
+    if (path_[i].chosen_crash) {
+      prefix.crashes.push_back(static_cast<std::uint64_t>(i));
+    }
     prefix.grants.push_back(path_[i].options[path_[i].chosen]);
   }
   return prefix.digest();
@@ -117,6 +160,33 @@ std::string BoundedDfsPolicy::prefix_digest() const {
 
 std::size_t BoundedDfsPolicy::pick(const std::vector<ThreadId>& runnable,
                                    std::uint64_t) {
+  return pick_impl(runnable, nullptr).index;
+}
+
+GrantChoice BoundedDfsPolicy::pick_crashing(
+    const std::vector<ThreadId>& runnable, std::uint64_t,
+    CrashDirector* director) {
+  return pick_impl(runnable, director);
+}
+
+GrantChoice BoundedDfsPolicy::pick_impl(const std::vector<ThreadId>& runnable,
+                                        CrashDirector* director) {
+  if (director) {
+    // Total adversary budget = crashes this run already spent + what the
+    // director still affords. Observed every grant so advance() gates
+    // crash ranks on the true budget between runs.
+    crash_budget_ = crashes_used_ + director->budget_remaining();
+  }
+  auto snapshot_crashable = [&] {
+    std::vector<char> out(runnable.size(), 0);
+    if (director) {
+      for (std::size_t i = 0; i < runnable.size(); ++i) {
+        out[i] = director->crashable(runnable[i].pid) ? 1 : 0;
+      }
+    }
+    return out;
+  };
+
   // Continuation option: the previous holder, if still runnable.
   std::size_t cont = kNoCont;
   if (has_last_) {
@@ -128,6 +198,7 @@ std::size_t BoundedDfsPolicy::pick(const std::vector<ThreadId>& runnable,
   }
 
   std::size_t choice;
+  bool crash = false;
   if (cursor_ < prefix_len_ && !diverged_) {
     // Replay the prefix by granted THREAD, not by index: the runnable
     // set must contain the recorded grant, but may otherwise differ.
@@ -139,21 +210,26 @@ std::size_t BoundedDfsPolicy::pick(const std::vector<ThreadId>& runnable,
       choice = cont == kNoCont ? 0 : cont;
     } else {
       choice = static_cast<std::size_t>(it - runnable.begin());
+      crash = n.chosen_crash;
       // Refresh the node against this run's observed reality.
       n.options = runnable;
       n.chosen = choice;
       n.cont = cont;
       n.preemptions_before = preemptions_used_;
+      n.crashes_before = crashes_used_;
+      n.crashable = snapshot_crashable();
     }
   } else if (!diverged_ && path_.size() < max_depth_ &&
              cursor_ == path_.size()) {
-    // Extend the tree with the non-preemptive default.
+    // Extend the tree with the non-preemptive, crash-free default.
     Node n;
     n.options = runnable;
     n.cont = cont;
     n.rank = 0;
     n.chosen = default_choice(n);
     n.preemptions_before = preemptions_used_;
+    n.crashes_before = crashes_used_;
+    n.crashable = snapshot_crashable();
     choice = n.chosen;
     path_.push_back(std::move(n));
   } else {
@@ -163,10 +239,11 @@ std::size_t BoundedDfsPolicy::pick(const std::vector<ThreadId>& runnable,
   }
 
   if (cont != kNoCont && choice != cont) ++preemptions_used_;
+  if (crash) ++crashes_used_;
   has_last_ = true;
   last_granted_ = runnable[choice];
   ++cursor_;
-  return choice;
+  return GrantChoice{choice, crash};
 }
 
 bool BoundedDfsPolicy::advance() {
@@ -174,12 +251,23 @@ bool BoundedDfsPolicy::advance() {
   while (!path_.empty()) {
     Node& n = path_.back();
     bool advanced = false;
-    while (n.rank + 1 < n.options.size()) {
+    // Rank space is doubled when a crash budget exists: the schedule
+    // options first, then the same options with a crash directed onto
+    // the grant. A crash variant costs the preemptions of its schedule
+    // sibling (crashing the continuation costs none).
+    while (n.rank + 1 < 2 * n.options.size()) {
       ++n.rank;
-      const std::size_t idx = option_for_rank(n, n.rank);
+      const bool crash = n.rank >= n.options.size();
+      const std::size_t r = crash ? n.rank - n.options.size() : n.rank;
+      const std::size_t idx = option_for_rank(n, r);
       const int cost = (n.cont != kNoCont && idx != n.cont) ? 1 : 0;
       if (n.preemptions_before + cost > bound_) continue;
+      if (crash) {
+        if (n.crashes_before >= crash_budget_) continue;
+        if (idx >= n.crashable.size() || !n.crashable[idx]) continue;
+      }
       n.chosen = idx;
+      n.chosen_crash = crash;
       advanced = true;
       break;
     }
@@ -191,6 +279,7 @@ bool BoundedDfsPolicy::advance() {
       }
       cursor_ = 0;
       preemptions_used_ = 0;
+      crashes_used_ = 0;
       has_last_ = false;
       diverged_ = false;
       return true;

@@ -42,6 +42,13 @@ class SeededRandomPolicy : public SchedulePolicy {
   explicit SeededRandomPolicy(std::uint64_t seed) : rng_(seed) {}
   std::size_t pick(const std::vector<ThreadId>& runnable,
                    std::uint64_t step) override;
+  // Product search: the index draw first (same stream position as pick),
+  // then a crash_rate draw when the adversary can still afford a crash —
+  // the exact order of the controller's built-in explored path, hence
+  // byte-identical product schedules for equal seeds.
+  GrantChoice pick_crashing(const std::vector<ThreadId>& runnable,
+                            std::uint64_t step,
+                            CrashDirector* director) override;
 
  private:
   Rng rng_;
@@ -52,6 +59,12 @@ class ScriptedPolicy : public SchedulePolicy {
   explicit ScriptedPolicy(std::shared_ptr<const ScheduleTrace> script);
   std::size_t pick(const std::vector<ThreadId>& runnable,
                    std::uint64_t step) override;
+  // Replays the script's crash marks alongside its grants: a matched
+  // entry whose script position is marked directs a crash onto the
+  // granted thread (the marks of skipped entries are dropped with them).
+  GrantChoice pick_crashing(const std::vector<ThreadId>& runnable,
+                            std::uint64_t step,
+                            CrashDirector* director) override;
 
   // Diagnostics: script entries skipped because the named thread was not
   // runnable, and grants issued after the script ran out.
@@ -66,6 +79,9 @@ class ScriptedPolicy : public SchedulePolicy {
   // bench asserts <= 1.05x).
   const ThreadId* cursor_ = nullptr;
   const ThreadId* end_ = nullptr;
+  // Cursor over the script's (ascending) crash marks.
+  const std::uint64_t* crash_cursor_ = nullptr;
+  const std::uint64_t* crash_end_ = nullptr;
   std::size_t skipped_ = 0;
   std::size_t fallback_ = 0;
 };
@@ -77,6 +93,11 @@ class PctPolicy : public SchedulePolicy {
   PctPolicy(std::uint64_t seed, int depth, std::uint64_t horizon);
   std::size_t pick(const std::vector<ThreadId>& runnable,
                    std::uint64_t step) override;
+  // Like SeededRandom: the priority schedule is undisturbed, a separate
+  // crash_rate draw decides whether the leader crashes at this grant.
+  GrantChoice pick_crashing(const std::vector<ThreadId>& runnable,
+                            std::uint64_t step,
+                            CrashDirector* director) override;
 
  private:
   Rng rng_;
@@ -98,6 +119,15 @@ class BoundedDfsPolicy : public SchedulePolicy {
 
   std::size_t pick(const std::vector<ThreadId>& runnable,
                    std::uint64_t step) override;
+  // Product enumeration: with a CrashDirector attached each choice point
+  // doubles — every runnable option also exists in a "crash here"
+  // variant, gated by the adversary's remaining budget. A crash variant
+  // costs the same preemptions as its schedule sibling, so at preemption
+  // bound 0 the product tree is exactly the schedule-only tree plus
+  // crash placements along each non-preemptive schedule.
+  GrantChoice pick_crashing(const std::vector<ThreadId>& runnable,
+                            std::uint64_t step,
+                            CrashDirector* director) override;
 
   // Move to the next unexplored schedule prefix; false once the bounded
   // tree is exhausted. Call BETWEEN runs (after the run driven by the
@@ -114,9 +144,15 @@ class BoundedDfsPolicy : public SchedulePolicy {
   struct Node {
     std::vector<ThreadId> options;  // runnable set at this choice point
     std::size_t chosen = 0;         // index into options
-    std::size_t rank = 0;           // position in the node's try-order
+    bool chosen_crash = false;      // the chosen option crashes here
+    // Try-order position. Ranks [0, options.size()) are the schedule
+    // options (0 = default); ranks [size, 2*size) are the same options
+    // with a crash directed onto the grant.
+    std::size_t rank = 0;
     std::size_t cont = kNoCont;     // index of the continuation option
     int preemptions_before = 0;
+    int crashes_before = 0;         // crashes directed earlier in the path
+    std::vector<char> crashable;    // per-option: pid still crashable here
   };
   static constexpr std::size_t kNoCont = static_cast<std::size_t>(-1);
 
@@ -124,6 +160,8 @@ class BoundedDfsPolicy : public SchedulePolicy {
   // Option index for try-order position `rank` (0 = default).
   static std::size_t option_for_rank(const Node& n, std::size_t rank);
   std::string prefix_digest() const;
+  GrantChoice pick_impl(const std::vector<ThreadId>& runnable,
+                        CrashDirector* director);
 
   const int bound_;
   const std::size_t max_depth_;
@@ -131,6 +169,10 @@ class BoundedDfsPolicy : public SchedulePolicy {
   std::size_t prefix_len_ = 0;  // nodes [0, prefix_len_) replay `chosen`
   std::size_t cursor_ = 0;      // position within the current run
   int preemptions_used_ = 0;
+  int crashes_used_ = 0;
+  // The adversary budget observed from the director (0 when searching
+  // schedule-only); advance() gates crash ranks on it between runs.
+  int crash_budget_ = 0;
   bool has_last_ = false;
   ThreadId last_granted_{};
   bool diverged_ = false;

@@ -19,6 +19,16 @@ std::string ScheduleTrace::digest() const {
     mix(static_cast<std::uint32_t>(t.pid));
     mix(static_cast<std::uint32_t>(t.sub));
   }
+  if (!crashes.empty()) {
+    // Mixed only when present: a crash-free trace keeps its pre-crash
+    // digest. The sentinel word separates "crash at grant 0" from a
+    // schedule whose next grant happens to be thread (0,0).
+    mix(0xc4a54ed5u);
+    for (std::uint64_t c : crashes) {
+      mix(static_cast<std::uint32_t>(c & 0xffffffffu));
+      mix(static_cast<std::uint32_t>(c >> 32));
+    }
+  }
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(h));
@@ -34,6 +44,13 @@ Json ScheduleTrace::to_json() const {
   }
   Json j = Json::object();
   j.set("grants", std::move(arr));
+  if (!crashes.empty()) {
+    Json marks = Json::array();
+    for (std::uint64_t c : crashes) {
+      marks.push(Json(static_cast<std::int64_t>(c)));
+    }
+    j.set("crashes", std::move(marks));
+  }
   return j;
 }
 
@@ -50,6 +67,26 @@ ScheduleTrace ScheduleTrace::from_json(const Json& j) {
     tid.pid = static_cast<ProcessId>(pair.at(0).as_int());
     tid.sub = static_cast<int>(pair.at(1).as_int());
     trace.grants.push_back(tid);
+  }
+  if (const Json* marks = j.find("crashes")) {
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const Json& c : marks->items()) {
+      const std::int64_t idx = c.as_int();
+      if (idx < 0 || static_cast<std::size_t>(idx) >= trace.grants.size()) {
+        throw ProtocolError("ScheduleTrace crash mark " + std::to_string(idx) +
+                            " is out of range for " +
+                            std::to_string(trace.grants.size()) + " grants");
+      }
+      const std::uint64_t u = static_cast<std::uint64_t>(idx);
+      if (!first && u <= prev) {
+        throw ProtocolError("ScheduleTrace crash marks must be strictly "
+                            "ascending");
+      }
+      trace.crashes.push_back(u);
+      prev = u;
+      first = false;
+    }
   }
   return trace;
 }

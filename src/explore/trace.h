@@ -29,19 +29,28 @@ namespace mpcn {
 
 struct ScheduleTrace {
   std::vector<ThreadId> grants;
+  // Grant indices at which the crash adversary crashed the granted thread
+  // (ascending; explored crash plans only). A trace with no crashes
+  // serializes and digests exactly as it did before crashes existed, so
+  // pre-crash trace bytes and digests are stable.
+  std::vector<std::uint64_t> crashes;
 
   std::size_t size() const { return grants.size(); }
   bool empty() const { return grants.empty(); }
 
-  bool operator==(const ScheduleTrace& o) const { return grants == o.grants; }
+  bool operator==(const ScheduleTrace& o) const {
+    return grants == o.grants && crashes == o.crashes;
+  }
   bool operator!=(const ScheduleTrace& o) const { return !(*this == o); }
 
   // Stable FNV-1a 64 fingerprint over the (pid, sub) stream, as 16 hex
   // digits. Equal traces digest equal on every platform; used as the
-  // RunRecord schedule identity and the explorer's dedup key.
+  // RunRecord schedule identity and the explorer's dedup key. Crash marks
+  // are mixed in only when present, so crash-free digests are unchanged.
   std::string digest() const;
 
-  // {"grants":[[pid,sub],...]} — compact, order-preserving.
+  // {"grants":[[pid,sub],...]} — compact, order-preserving; a "crashes"
+  // index array is added only when crashes were recorded.
   Json to_json() const;
   static ScheduleTrace from_json(const Json& j);  // throws JsonError/ProtocolError
 };

@@ -44,6 +44,20 @@ CrashPlan CrashPlan::propose_trap(std::vector<std::string> keys,
   return p;
 }
 
+CrashPlan CrashPlan::explored(int max_crashes, double crash_rate) {
+  if (max_crashes < 1) {
+    throw std::invalid_argument("explored needs max_crashes >= 1");
+  }
+  if (crash_rate < 0.0 || crash_rate > 1.0) {
+    throw std::invalid_argument("explored crash_rate out of range");
+  }
+  CrashPlan p;
+  p.kind_ = Kind::kExplored;
+  p.max_crashes_ = max_crashes;
+  p.probability_ = crash_rate;
+  return p;
+}
+
 Json CrashPlan::to_json() const {
   Json j = Json::object();
   switch (kind_) {
@@ -82,6 +96,12 @@ Json CrashPlan::to_json() const {
           .set("trap_point", trap_point_ == TrapPoint::kProposeEntry
                                  ? "propose_entry"
                                  : "owner_elected");
+      return j;
+    }
+    case Kind::kExplored: {
+      j.set("kind", "explored")
+          .set("max_crashes", max_crashes_)
+          .set("crash_rate", probability_);
       return j;
     }
   }
@@ -125,6 +145,10 @@ CrashPlan CrashPlan::from_json(const Json& j) {
         tp == "propose_entry" ? TrapPoint::kProposeEntry
                               : TrapPoint::kOwnerElected);
   }
+  if (kind == "explored") {
+    return CrashPlan::explored(static_cast<int>(j.at("max_crashes").as_int()),
+                               j.at("crash_rate").as_double());
+  }
   throw std::invalid_argument("unknown CrashPlan kind: " + kind);
 }
 
@@ -139,6 +163,8 @@ int CrashPlan::budget(int n) const {
     case Kind::kProposeTrap:
       return std::min(
           static_cast<int>(trap_keys_.size()) * victims_per_key_, n);
+    case Kind::kExplored:
+      return std::min(max_crashes_, n);
   }
   return 0;
 }
@@ -202,6 +228,7 @@ bool CrashManager::on_step(ThreadId tid) {
       if (it != fixed_points_.end() && my_step >= it->second) {
         crashed_[static_cast<std::size_t>(pid)] = true;
         ++crash_count_;
+        realized_.push_back(CrashPoint{pid, my_step});
         return true;
       }
       return false;
@@ -216,6 +243,7 @@ bool CrashManager::on_step(ThreadId tid) {
       armed_.erase(it);
       crashed_[static_cast<std::size_t>(pid)] = true;
       ++crash_count_;
+      realized_.push_back(CrashPoint{pid, my_step});
       return true;
     }
     case CrashPlan::Kind::kHazard: {
@@ -226,9 +254,23 @@ bool CrashManager::on_step(ThreadId tid) {
       if (rng_.chance(plan_.probability_)) {
         crashed_[static_cast<std::size_t>(pid)] = true;
         ++crash_count_;
+        realized_.push_back(CrashPoint{pid, my_step});
         return true;
       }
       return false;
+    }
+    case CrashPlan::Kind::kExplored: {
+      // Consume a grant-time directive: the controller directed a crash
+      // onto this thread's next step, and this is that step (grants only
+      // reach threads parked in acquire(), and acquire() returns into
+      // step(), which calls on_step before anything else — so exactly
+      // one directive is ever pending and it lands 1:1).
+      if (!directed_ || !(*directed_ == tid)) return false;
+      directed_.reset();
+      crashed_[static_cast<std::size_t>(pid)] = true;
+      ++crash_count_;
+      realized_.push_back(CrashPoint{pid, my_step});
+      return true;
     }
   }
   return false;
@@ -239,6 +281,9 @@ void CrashManager::crash_now(ProcessId pid) {
   if (!crashed_[static_cast<std::size_t>(pid)]) {
     crashed_[static_cast<std::size_t>(pid)] = true;
     ++crash_count_;
+    // External crash: the process dies before its next own step.
+    realized_.push_back(
+        CrashPoint{pid, step_counts_[static_cast<std::size_t>(pid)] + 1});
   }
 }
 
@@ -255,6 +300,35 @@ int CrashManager::crash_count() const {
 std::vector<bool> CrashManager::crashed_vector() const {
   std::lock_guard<std::mutex> lk(m_);
   return crashed_;
+}
+
+std::vector<CrashPoint> CrashManager::realized() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return realized_;
+}
+
+int CrashManager::budget_remaining() const {
+  std::lock_guard<std::mutex> lk(m_);
+  if (plan_.kind_ != CrashPlan::Kind::kExplored) return 0;
+  const int budget = std::min(plan_.max_crashes_, n_);
+  return budget > crash_count_ ? budget - crash_count_ : 0;
+}
+
+bool CrashManager::crashable(ProcessId pid) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return pid >= 0 && pid < n_ && !crashed_[static_cast<std::size_t>(pid)];
+}
+
+double CrashManager::rate() const { return plan_.probability_; }
+
+bool CrashManager::direct_crash(ThreadId tid) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (plan_.kind_ != CrashPlan::Kind::kExplored) return false;
+  if (crash_count_ >= std::min(plan_.max_crashes_, n_)) return false;
+  if (crashed_[static_cast<std::size_t>(tid.pid)]) return false;
+  if (directed_) return false;  // previous directive still pending
+  directed_ = tid;
+  return true;
 }
 
 }  // namespace mpcn

@@ -29,6 +29,7 @@
 #include "src/common/ids.h"
 #include "src/common/json.h"
 #include "src/common/rng.h"
+#include "src/runtime/schedule_policy.h"
 
 namespace mpcn {
 
@@ -70,6 +71,17 @@ class CrashPlan {
                                 std::uint64_t extra_steps,
                                 TrapPoint point = TrapPoint::kProposeEntry);
 
+  // Explored crashes: the plan itself places no crashes — crash decisions
+  // are delegated to the SchedulePolicy seam via CrashDirector, so the
+  // explorer (src/explore/) searches the (schedule × crash-plan) product.
+  // `max_crashes` is the adversary budget t; `crash_rate` is the per-grant
+  // crash probability randomized policies (random / pct) use — systematic
+  // DFS enumerates crash placements exhaustively and ignores it.
+  static CrashPlan explored(int max_crashes, double crash_rate = 0.1);
+
+  bool is_none() const { return kind_ == Kind::kNone; }
+  bool is_explored() const { return kind_ == Kind::kExplored; }
+
   // Total number of processes this plan may crash (the adversary budget).
   int budget(int n) const;
 
@@ -81,7 +93,7 @@ class CrashPlan {
 
  private:
   friend class CrashManager;
-  enum class Kind { kNone, kFixed, kHazard, kProposeTrap };
+  enum class Kind { kNone, kFixed, kHazard, kProposeTrap, kExplored };
   Kind kind_ = Kind::kNone;
   std::vector<CrashPoint> points_;
   double probability_ = 0.0;
@@ -94,8 +106,10 @@ class CrashPlan {
   TrapPoint trap_point_ = TrapPoint::kProposeEntry;
 };
 
-// Runtime state of the adversary for one execution.
-class CrashManager {
+// Runtime state of the adversary for one execution. Doubles as the
+// CrashDirector of explored plans: the LockstepController consults it at
+// grant time and directs crashes onto granted threads.
+class CrashManager : public CrashDirector {
  public:
   CrashManager(int n, CrashPlan plan);
 
@@ -125,6 +139,20 @@ class CrashManager {
   int crash_count() const;
   std::vector<bool> crashed_vector() const;
 
+  // The crashes this execution actually realized, in crash order: each
+  // entry is (pid, the pid's own-step count at the crash). Replaying the
+  // realized points as CrashPlan::fixed reproduces any randomized run
+  // exactly (the crash rng is separate from the scheduler rng, so the
+  // schedule is unaffected).
+  std::vector<CrashPoint> realized() const;
+
+  // CrashDirector (explored plans; called with the controller mutex
+  // held — lock order is controller -> CrashManager, never the reverse).
+  int budget_remaining() const override;
+  bool crashable(ProcessId pid) const override;
+  double rate() const override;
+  bool direct_crash(ThreadId tid) override;
+
  private:
   void arm_trap(ThreadId tid, const std::string& key);
 
@@ -143,6 +171,12 @@ class CrashManager {
   std::map<ThreadId, std::uint64_t> armed_;
   // pids with an armed thread (one trap assignment per process).
   std::set<ProcessId> armed_pids_;
+  // Explored plans: the thread whose next step must crash (at most one
+  // directive is pending — a grant-time directive is consumed by the
+  // granted thread's immediately-following on_step).
+  std::optional<ThreadId> directed_;
+  // Crashes realized so far, in crash order.
+  std::vector<CrashPoint> realized_;
 };
 
 }  // namespace mpcn

@@ -47,6 +47,14 @@ Execution::Execution(std::vector<Program> programs, std::vector<Value> inputs,
     controller_ = std::make_unique<FreeController>(options_.step_limit);
   }
   crash_mgr_ = std::make_unique<CrashManager>(n_, options_.crashes);
+  if (options_.mode == SchedulerMode::kLockstep &&
+      options_.crashes.is_explored()) {
+    // Explored crashes: the schedule adversary doubles as the crash
+    // adversary. The manager outlives the controller's last grant (both
+    // are owned here and torn down after run()).
+    static_cast<LockstepController*>(controller_.get())
+        ->set_crash_director(crash_mgr_.get());
+  }
 }
 
 Execution::~Execution() = default;

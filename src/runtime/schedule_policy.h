@@ -34,6 +34,41 @@
 
 namespace mpcn {
 
+// The crash side of the (schedule × crash) product. When the cell's
+// CrashPlan is `explored`, the controller exposes the crash adversary to
+// the policy through this interface: at each grant the policy may ask
+// whether a crash is still affordable (budget), whether the candidate
+// process is still crashable (not already crashed), and — via the
+// controller — direct a crash onto the granted thread's next step.
+// Implemented by CrashManager; all methods are called with the
+// controller mutex held (lock order: controller -> CrashManager).
+class CrashDirector {
+ public:
+  virtual ~CrashDirector() = default;
+
+  // Crashes the adversary may still inject (plan budget minus crashes
+  // realized so far).
+  virtual int budget_remaining() const = 0;
+
+  // True when pid has not crashed yet (a second crash is meaningless).
+  virtual bool crashable(ProcessId pid) const = 0;
+
+  // The plan's per-grant crash probability, for randomized policies.
+  virtual double rate() const = 0;
+
+  // Direct a crash onto `tid`'s immediately-next step. Returns false if
+  // the directive was rejected (budget exhausted / already crashed);
+  // policies must treat a false return as "no crash happened".
+  virtual bool direct_crash(ThreadId tid) = 0;
+};
+
+// A policy decision for one grant: which runnable thread gets the step
+// token, and whether its process crashes at that step.
+struct GrantChoice {
+  std::size_t index = 0;
+  bool crash = false;
+};
+
 class SchedulePolicy {
  public:
   virtual ~SchedulePolicy() = default;
@@ -41,6 +76,18 @@ class SchedulePolicy {
   // Index into `runnable` of the thread to grant the step token to.
   virtual std::size_t pick(const std::vector<ThreadId>& runnable,
                            std::uint64_t step) = 0;
+
+  // Product form: pick a thread AND decide whether it crashes at this
+  // grant. Only called when the cell's crash plan is `explored` (the
+  // controller has a CrashDirector attached); `director` is non-null and
+  // valid for the duration of the call. The default keeps legacy
+  // policies working unchanged: same schedule, no crashes.
+  virtual GrantChoice pick_crashing(const std::vector<ThreadId>& runnable,
+                                    std::uint64_t step,
+                                    CrashDirector* director) {
+    (void)director;
+    return GrantChoice{pick(runnable, step), false};
+  }
 };
 
 }  // namespace mpcn

@@ -80,10 +80,20 @@ ParkFlag* LockstepController::maybe_grant() {
   // draw uniformly. std::set iteration is ordered, so the draw depends
   // only on the RNG state and the (deterministic) set contents.
   if (parked_.empty() || parked_.size() != alive_.size()) return nullptr;
+  bool crash_here = false;
   if (policy_) {
     // Pluggable adversary: hand the sorted runnable set to the policy.
     const std::vector<ThreadId> runnable(parked_.begin(), parked_.end());
-    std::size_t idx = policy_->pick(runnable, steps_);
+    std::size_t idx;
+    if (crash_director_) {
+      // Explored crash plan: the policy decides the (thread, crash) pair.
+      const GrantChoice choice =
+          policy_->pick_crashing(runnable, steps_, crash_director_);
+      idx = choice.index;
+      crash_here = choice.crash;
+    } else {
+      idx = policy_->pick(runnable, steps_);
+    }
     if (idx >= runnable.size()) {
       // Cannot throw here: grants fire from release(), i.e. from inside
       // StepGuard destructors. Record the fault, keep the run live with a
@@ -95,15 +105,27 @@ ParkFlag* LockstepController::maybe_grant() {
                         std::to_string(steps_);
       }
       idx = runnable.size() - 1;
+      crash_here = false;  // a clamped pick cannot carry a crash directive
     }
     holder_ = runnable[idx];
   } else {
     auto it = parked_.begin();
     std::advance(it, static_cast<long>(rng_.index(parked_.size())));
     holder_ = *it;
+    if (crash_director_ && crash_director_->budget_remaining() > 0 &&
+        crash_director_->crashable(holder_.pid)) {
+      // Built-in RNG path under an explored plan: draw the crash from the
+      // same stream, in the same index-then-chance order SeededRandom
+      // uses, so the two paths stay byte-identical.
+      crash_here = rng_.chance(crash_director_->rate());
+    }
+  }
+  if (crash_here && !crash_director_->direct_crash(holder_)) {
+    crash_here = false;  // budget raced out / already crashed: no-op
   }
   has_holder_ = true;
   if (trace_) {
+    if (crash_here) crash_marks_.push_back(grant_trace_.size());
     grant_trace_.push_back(holder_);
     if (trace_sets_) {
       std::string set;
@@ -222,6 +244,16 @@ std::string LockstepController::policy_error() const {
 std::vector<ThreadId> LockstepController::grant_trace() const {
   std::lock_guard<std::mutex> lk(m_);
   return grant_trace_;
+}
+
+std::vector<std::uint64_t> LockstepController::crash_marks() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return crash_marks_;
+}
+
+void LockstepController::set_crash_director(CrashDirector* director) {
+  std::lock_guard<std::mutex> lk(m_);
+  crash_director_ = director;
 }
 
 std::vector<std::string> LockstepController::grant_sets() const {

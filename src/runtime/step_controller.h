@@ -71,6 +71,11 @@ class StepController {
   // unless tracing was enabled). Used by determinism diagnostics.
   virtual std::vector<ThreadId> grant_trace() const { return {}; }
   virtual void enable_grant_trace() {}
+
+  // Grant-trace indices at which the crash adversary crashed the granted
+  // thread (explored crash plans under lock-step only; empty otherwise).
+  // Together with grant_trace() this pins a crashing execution.
+  virtual std::vector<std::uint64_t> crash_marks() const { return {}; }
 };
 
 // Free-running controller: no serialization, only step counting and the
@@ -117,6 +122,14 @@ class LockstepController : public StepController {
   std::uint64_t steps() const override;
   std::vector<ThreadId> grant_trace() const override;
   void enable_grant_trace() override;
+  std::vector<std::uint64_t> crash_marks() const override;
+
+  // Attach the crash adversary of an explored CrashPlan. With a director
+  // attached, grants go through SchedulePolicy::pick_crashing (or, on the
+  // built-in RNG path, a seeded per-grant crash draw), so the policy
+  // searches the (schedule × crash) product. `director` must outlive the
+  // controller's last grant; Execution owns both and tears down in order.
+  void set_crash_director(CrashDirector* director);
   // Also record the full runnable set per grant (grant_sets()) — a
   // debugging aid that costs a string allocation per step, so it is
   // opt-in separately from the (hot-loop) grant trace.
@@ -142,6 +155,7 @@ class LockstepController : public StepController {
   mutable std::mutex m_;
   Rng rng_;
   const std::shared_ptr<SchedulePolicy> policy_;  // null = seeded RNG draw
+  CrashDirector* crash_director_ = nullptr;  // null = schedule-only grants
   const std::uint64_t step_limit_;
   const WaitStrategy wait_;
   const std::unique_ptr<TokenWaiter> waiter_;
@@ -161,6 +175,7 @@ class LockstepController : public StepController {
   std::string policy_error_;
   std::vector<ThreadId> grant_trace_;
   std::vector<std::string> grant_sets_;
+  std::vector<std::uint64_t> crash_marks_;
 };
 
 }  // namespace mpcn

@@ -197,6 +197,61 @@ SimulatedAlgorithm racy_register_algorithm(int n, int warmup_rounds,
   return a;
 }
 
+SimulatedAlgorithm safe_agreement_window_algorithm(int n, int t,
+                                                   int warmup_rounds) {
+  SimulatedAlgorithm a;
+  a.model = ModelSpec{n, t, 1};
+  a.model.validate();
+  if (n < 2) {
+    throw ProtocolError(
+        "safe_agreement_window_algorithm needs n >= 2 (a crash must be "
+        "able to strand a peer)");
+  }
+  if (t < 1) {
+    throw ProtocolError(
+        "safe_agreement_window_algorithm needs t >= 1 (the exhibit is "
+        "about crashes)");
+  }
+  if (warmup_rounds < 0) {
+    throw ProtocolError(
+        "safe_agreement_window_algorithm needs warmup_rounds >= 0");
+  }
+  for (int j = 0; j < n; ++j) {
+    a.programs.push_back([warmup_rounds](SimContext& sc) {
+      const Value v = sc.input();
+      // Warmup pads the claim->commit window deep into the timeline so
+      // uniform product sampling rarely lands a crash exactly there.
+      for (int r = 0; r < warmup_rounds; ++r) {
+        sc.write(v);
+      }
+      sc.write(Value::pair(Value("claim"), v));   // the crash window opens
+      sc.write(Value::pair(Value("commit"), v));  // one step later: safe
+      // Decide only once nobody is mid-announcement. A process crashed
+      // inside its window leaves its claim visible forever — peers that
+      // have not decided yet spin here to the step limit.
+      for (;;) {
+        const std::vector<Value> snap = sc.snapshot();
+        bool claim_visible = false;
+        Value best = Value::nil();
+        for (const Value& cell : snap) {
+          if (!cell.is_list() || cell.size() != 2) continue;
+          if (cell.at(0) == Value("claim")) {
+            claim_visible = true;
+            break;
+          }
+          const Value& committed = cell.at(1);
+          if (best.is_nil() || committed < best) best = committed;
+        }
+        if (!claim_visible) {
+          sc.decide(best);
+          return;
+        }
+      }
+    });
+  }
+  return a;
+}
+
 SimulatedAlgorithm step_churn_algorithm(int n, int rounds) {
   SimulatedAlgorithm a;
   a.model = ModelSpec{n, 0, 1};

@@ -84,4 +84,26 @@ SimulatedAlgorithm step_churn_algorithm(int n, int rounds);
 SimulatedAlgorithm racy_register_algorithm(int n, int warmup_rounds = 12,
                                            int reader_rounds = 2);
 
+// Fault-exploration exhibit for ASM(n, t, 1), n >= 2, t >= 1: a
+// miniature safe-agreement protocol whose only vulnerability is a CRASH
+// in a two-step window — the known target of the explorer's
+// (schedule × crash) product search (src/explore/).
+//
+// Each process pads its timeline with `warmup_rounds` plain writes, then
+// announces ["claim", v], then one step later ["commit", v], and finally
+// snapshots until NO cell is in the claim state, deciding the minimum
+// committed value seen. Under any crash-free schedule every claim is
+// repaired to a commit one step later, so every process terminates and
+// decisions are committed inputs: schedule-only search (bounded DFS at
+// preemption bound 0, seeded-random sampling) finds nothing. A process
+// CRASHED between its claim and its commit leaves the claim visible
+// forever; if any peer has not yet decided, it spins to the step limit —
+// a liveness violation only the product search can reach. Crashing a
+// process after its peers decided is harmless (crashed processes are
+// exempt from liveness), so the window is genuinely load-bearing.
+// Validated with k-set agreement at k = n (vacuous agreement): the
+// exhibit fails on liveness alone, never on the task relation.
+SimulatedAlgorithm safe_agreement_window_algorithm(int n, int t,
+                                                   int warmup_rounds = 2);
+
 }  // namespace mpcn

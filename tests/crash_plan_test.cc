@@ -1,0 +1,233 @@
+// Tests: src/runtime/crash_plan — the failure adversary's determinism
+// contract, sharpened for the explored (director-driven) plan kind.
+//
+// The load-bearing pins:
+//   * fixed / hazard / propose_trap realize the SAME crash points (pid,
+//     own-step) across every wait strategy — the adversary is part of
+//     the seeded execution identity, not an artifact of the
+//     token-handoff mechanism. Across memory backends the own-step
+//     STRUCTURE differs (afek expands one snapshot into many register
+//     steps), so only own-step anchors reachable on both substrates are
+//     mem-portable: the fixed test pins full cross-mem identity with an
+//     early anchor; hazard and propose_trap pin wait-invariance per mem
+//     (their realizations are coupled to the substrate's schedule);
+//   * RunRecord serializes the effective plan and the realized points,
+//     and replaying the realized points as CrashPlan::fixed reproduces
+//     the run exactly (replay-from-report);
+//   * the explored plan round-trips through JSON and rejects nonsense.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/common/errors.h"
+#include "src/experiment/experiment.h"
+#include "src/runtime/crash_plan.h"
+#include "src/tasks/algorithms.h"
+
+namespace mpcn {
+namespace {
+
+const std::vector<WaitStrategy> kWaits = {
+    WaitStrategy::kCondvar, WaitStrategy::kSpinPark, WaitStrategy::kSpin};
+const std::vector<MemKind> kMems = {MemKind::kPrimitive, MemKind::kAfek};
+
+std::string points_key(const std::vector<CrashPoint>& pts) {
+  std::ostringstream out;
+  for (const CrashPoint& p : pts) {
+    out << p.pid << '@' << p.at_step << ';';
+  }
+  return out.str();
+}
+
+std::string record_key(const RunRecord& rec) {
+  return std::string(to_string(rec.wait)) + "/" + to_string(rec.mem) +
+         " seed " + std::to_string(rec.seed);
+}
+
+// Run the experiment over the full wait x mem grid and require every
+// cell of a group to realize the identical crash points. cross_mem
+// groups by seed alone (full wait x mem identity); otherwise cells
+// group by (seed, mem) — wait-strategy invariance per substrate.
+void expect_identical_realizations(Experiment& e, bool expect_crashes,
+                                   bool cross_mem) {
+  e.wait_strategies(kWaits).mems(kMems);
+  const Report report = e.run_all();
+  ASSERT_FALSE(report.records.empty());
+  std::map<std::string, std::string> first_by_group;
+  bool any_crash = false;
+  for (const RunRecord& rec : report.records) {
+    ASSERT_TRUE(rec.error.empty()) << rec.error;
+    if (expect_crashes) {
+      EXPECT_FALSE(rec.crash_points.empty())
+          << record_key(rec) << ": adversary never fired";
+    }
+    any_crash = any_crash || !rec.crash_points.empty();
+    std::string group = std::to_string(rec.seed);
+    if (!cross_mem) group += std::string("/") + to_string(rec.mem);
+    const std::string key = points_key(rec.crash_points);
+    auto [it, inserted] = first_by_group.emplace(group, key);
+    EXPECT_EQ(it->second, key)
+        << "group " << group << " realized different crash points on "
+        << to_string(rec.wait) << "/" << to_string(rec.mem);
+  }
+  EXPECT_TRUE(any_crash) << "the grid never exercised the adversary";
+}
+
+TEST(CrashRealization, FixedPlanIdenticalAcrossWaitAndMemAxes) {
+  // Own-step 2 is reachable on BOTH substrates (a direct process's
+  // second step is its snapshot on primitive mem, an inner register op
+  // on afek mem), so the fixed anchor realizes as exactly 1@2 on every
+  // one of the six wait x mem combinations.
+  Experiment e = Experiment::of(trivial_kset_algorithm(3, 1));
+  e.direct()
+      .inputs({Value(7), Value(8), Value(9)})
+      .seeds(1, 3)
+      .crashes(CrashPlan::fixed({CrashPoint{1, 2}}));
+  expect_identical_realizations(e, /*expect_crashes=*/true,
+                                /*cross_mem=*/true);
+}
+
+TEST(CrashRealization, HazardPlanIdenticalAcrossWaitStrategies) {
+  Experiment e = Experiment::of(trivial_kset_algorithm(4, 2));
+  e.direct()
+      .inputs({Value(0), Value(1), Value(2), Value(3)})
+      .seeds(1, 3)
+      // The hazard stream is drawn in schedule order, so realizations
+      // are a property of the substrate's schedule: identical across
+      // wait strategies per mem, not across mems. Rate high enough
+      // that the grid crashes somebody.
+      .crashes([](const ModelSpec& m, std::uint64_t seed) {
+        return CrashPlan::hazard(0.2, m.t, seed);
+      });
+  expect_identical_realizations(e, /*expect_crashes=*/false,
+                                /*cross_mem=*/false);
+}
+
+TEST(CrashRealization, ProposeTrapIdenticalAcrossWaitStrategies) {
+  // The Theorem 2 boundary scenario (legal: the source tolerates the
+  // blocked process): both elected owners of INPUT/0 crash one own-step
+  // after winning their test&set slot. Which process wins the slot (and
+  // at which own-step) is a schedule property, so the pin is per mem.
+  Experiment e = Experiment::of(trivial_kset_algorithm(4, 1));
+  e.in(ModelSpec{4, 2, 2})
+      .inputs({Value(0), Value(1), Value(2), Value(3)})
+      .seeds(1, 2)
+      .crashes(CrashPlan::propose_trap(
+          {"INPUT/0"}, 2, 1, CrashPlan::TrapPoint::kOwnerElected));
+  expect_identical_realizations(e, /*expect_crashes=*/true,
+                                /*cross_mem=*/false);
+}
+
+TEST(CrashRealization, RealizedPointsReplayAsFixedPlan) {
+  // Replay-from-report: a hazard run's realized (pid, own-step) points,
+  // replayed as CrashPlan::fixed, reproduce the record. Scan seeds for
+  // one whose hazard actually fires (the scan itself is deterministic).
+  RunRecord rec;
+  std::uint64_t crashing_seed = 0;
+  for (std::uint64_t seed = 1; seed <= 20 && crashing_seed == 0; ++seed) {
+    Experiment e = Experiment::of(trivial_kset_algorithm(3, 1));
+    e.direct()
+        .inputs({Value(4), Value(5), Value(6)})
+        .seed(seed)
+        .crashes(CrashPlan::hazard(0.3, 1, 99 + seed));
+    const Report original = e.run_all();
+    ASSERT_EQ(original.records.size(), 1u);
+    if (!original.records.front().crash_points.empty()) {
+      rec = original.records.front();
+      crashing_seed = seed;
+    }
+  }
+  ASSERT_NE(crashing_seed, 0u) << "no seed in 1..20 crashed";
+
+  Experiment replay = Experiment::of(trivial_kset_algorithm(3, 1));
+  replay.direct()
+      .inputs({Value(4), Value(5), Value(6)})
+      .seed(crashing_seed)
+      .crashes(CrashPlan::fixed(rec.crash_points));
+  const RunRecord back = replay.run_all().records.front();
+  EXPECT_EQ(back.crashed, rec.crashed);
+  EXPECT_EQ(points_key(back.crash_points), points_key(rec.crash_points));
+  EXPECT_EQ(back.steps, rec.steps);
+  for (std::size_t i = 0; i < rec.decisions.size(); ++i) {
+    EXPECT_EQ(back.decisions[i].has_value(), rec.decisions[i].has_value());
+  }
+}
+
+TEST(CrashRealization, RecordSerializesPlanAndPoints) {
+  Experiment e = Experiment::of(trivial_kset_algorithm(3, 1));
+  e.direct()
+      .inputs({Value(0), Value(1), Value(2)})
+      .seed(1)
+      .crashes(CrashPlan::fixed({CrashPoint{2, 2}}));
+  const RunRecord rec = e.run_all().records.front();
+  ASSERT_FALSE(rec.crash_plan.is_none());
+  ASSERT_EQ(rec.crash_points.size(), 1u);
+  EXPECT_EQ(rec.crash_points[0].pid, 2);
+  EXPECT_EQ(rec.crash_points[0].at_step, 2u);
+
+  const RunRecord back = RunRecord::from_json(rec.to_json(false));
+  EXPECT_FALSE(back.crash_plan.is_none());
+  ASSERT_EQ(back.crash_points.size(), 1u);
+  EXPECT_EQ(back.crash_points[0].pid, rec.crash_points[0].pid);
+  EXPECT_EQ(back.crash_points[0].at_step, rec.crash_points[0].at_step);
+  EXPECT_EQ(back.to_json(false).dump(), rec.to_json(false).dump());
+}
+
+TEST(CrashRealization, CrashFreeRecordKeepsPreCrashBytes) {
+  // No plan, no crashes: the new fields must not appear in the JSON.
+  Experiment e = Experiment::of(trivial_kset_algorithm(3, 0));
+  e.direct().inputs({Value(0), Value(1), Value(2)}).seed(1);
+  const RunRecord rec = e.run_all().records.front();
+  const std::string dump = rec.to_json(false).dump();
+  EXPECT_EQ(dump.find("crash_plan"), std::string::npos);
+  EXPECT_EQ(dump.find("crash_points"), std::string::npos);
+}
+
+TEST(ExploredPlan, JsonRoundTripAndValidation) {
+  const CrashPlan plan = CrashPlan::explored(2, 0.25);
+  EXPECT_TRUE(plan.is_explored());
+  EXPECT_FALSE(plan.is_none());
+  EXPECT_EQ(plan.budget(5), 2);
+  EXPECT_EQ(plan.budget(1), 1);  // capped at n
+  const CrashPlan back = CrashPlan::from_json(plan.to_json());
+  EXPECT_TRUE(back.is_explored());
+  EXPECT_EQ(back.to_json().dump(), plan.to_json().dump());
+
+  EXPECT_THROW(CrashPlan::explored(0), std::invalid_argument);
+  EXPECT_THROW(CrashPlan::explored(1, -0.5), std::invalid_argument);
+  EXPECT_THROW(CrashPlan::explored(1, 1.5), std::invalid_argument);
+}
+
+TEST(ExploredPlan, WithoutDirectorBehavesLikeNone) {
+  // An explored plan outside the explorer (no director attached — e.g.
+  // free-mode scheduling) places no crashes on its own.
+  CrashManager mgr(3, CrashPlan::explored(2));
+  for (int s = 0; s < 50; ++s) {
+    for (int p = 0; p < 3; ++p) {
+      EXPECT_FALSE(mgr.on_step(ThreadId{p, 0}));
+    }
+  }
+  EXPECT_TRUE(mgr.realized().empty());
+}
+
+TEST(ExploredPlan, DirectedCrashLandsOnNextStepOfThatThreadOnly) {
+  CrashManager mgr(3, CrashPlan::explored(1));
+  EXPECT_EQ(mgr.budget_remaining(), 1);
+  EXPECT_TRUE(mgr.crashable(1));
+  ASSERT_TRUE(mgr.direct_crash(ThreadId{1, 0}));
+  // Another thread stepping first must NOT absorb the directive.
+  EXPECT_FALSE(mgr.on_step(ThreadId{0, 0}));
+  EXPECT_TRUE(mgr.on_step(ThreadId{1, 0}));
+  EXPECT_TRUE(mgr.is_crashed(1));
+  EXPECT_EQ(mgr.budget_remaining(), 0);
+  EXPECT_FALSE(mgr.crashable(1));
+  // Budget exhausted: further directives are refused.
+  EXPECT_FALSE(mgr.direct_crash(ThreadId{2, 0}));
+  ASSERT_EQ(mgr.realized().size(), 1u);
+  EXPECT_EQ(mgr.realized()[0].pid, 1);
+}
+
+}  // namespace
+}  // namespace mpcn

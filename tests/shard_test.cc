@@ -146,6 +146,48 @@ TEST(Shard, ExecModeDeadWorkerRequeues) {
 }
 #endif
 
+// Churn hardening: a crash-looping worker slot is respawned (with its
+// fault-injection quota inherited) and keeps serving cells. The pin:
+// with the in-process fallback DISABLED, only respawned workers can
+// finish the grid — success proves the respawn path served every cell.
+TEST(Shard, RespawnedSlotServesTheWholeGrid) {
+  const Experiment e = small_grid();  // 6 cells
+  ShardOptions options;
+  options.shards = 1;
+  // The worker dies upon RECEIVING its second cell: one cell per life.
+  options.worker_max_cells = {2};
+  options.max_respawns = 5;  // initial + 5 respawns = 6 lives = 6 cells
+  options.respawn_backoff = std::chrono::milliseconds(1);
+  options.fallback_in_process = false;
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
+// A drained pool (everyone dead, respawn budgets spent) with the
+// fallback disabled fails cleanly instead of silently degrading.
+TEST(Shard, DrainedPoolWithFallbackDisabledThrows) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_max_cells = {1, 1};  // nobody ever answers
+  options.max_respawns = 1;
+  options.respawn_backoff = std::chrono::milliseconds(1);
+  options.fallback_in_process = false;
+  EXPECT_THROW(run_sharded(e.cells(), options), ProtocolError);
+}
+
+// max_respawns = 0 restores the pre-respawn behavior: written-off
+// workers stay dead and the run degrades straight to in-process.
+TEST(Shard, RespawnDisabledFallsBackInProcess) {
+  const Experiment e = small_grid();
+  ShardOptions options;
+  options.shards = 2;
+  options.worker_max_cells = {1, 1};
+  options.max_respawns = 0;
+  const Report sharded = run_sharded(e.cells(), options);
+  EXPECT_EQ(sharded.to_json(false).dump(), in_process_dump(e));
+}
+
 TEST(Shard, EmptyGridYieldsEmptyReport) {
   ShardOptions options;
   options.shards = 2;
