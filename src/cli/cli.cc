@@ -20,6 +20,8 @@
 #include "src/experiment/registry.h"
 #include "src/explore/explorer.h"
 #include "src/history/history.h"
+#include "src/obs/metrics.h"
+#include "src/obs/spans.h"
 
 namespace mpcn {
 
@@ -68,6 +70,12 @@ const char kUsage[] =
     "  --fork-workers    shard via fork() instead of spawning\n"
     "                    `mpcn worker` subprocesses\n"
     "  --title S         report title (default: scenario name)\n"
+    "  --metrics PATH    write a telemetry snapshot JSON (process +\n"
+    "                    per-worker + merged counters; sidecar-only,\n"
+    "                    report bytes unchanged)\n"
+    "  --trace PATH      record scoped spans and write Chrome\n"
+    "                    trace-event JSON (loads in Perfetto)\n"
+    "  --progress        stderr heartbeat: cells done, rate, ETA\n"
     "\n"
     "explore flags (plus --in/--source/--mode/--mem/--steps/--wall/\n"
     "--inputs/--shards/--fork-workers as for run):\n"
@@ -100,7 +108,13 @@ const char kUsage[] =
     "  --replay PATH     run exactly one scripted schedule from PATH\n"
     "                    (combines with --record to re-emit the observed\n"
     "                    trace for byte-identity checks)\n"
-    "  --json PATH       write the explore report JSON (\"-\" = stdout)\n";
+    "  --json PATH       write the explore report JSON (\"-\" = stdout)\n"
+    "  --metrics PATH    write a telemetry snapshot JSON (process +\n"
+    "                    per-worker + merged counters; sidecar-only,\n"
+    "                    report bytes unchanged)\n"
+    "  --trace PATH      record scoped spans and write Chrome\n"
+    "                    trace-event JSON (loads in Perfetto)\n"
+    "  --progress        stderr heartbeat: schedules done, rate, ETA\n";
 
 Report load_report(const std::string& path) {
   std::ifstream in(path);
@@ -159,12 +173,43 @@ int cmd_worker(int argc, char** argv) {
   return 0;
 }
 
+void write_json_file(const std::string& path, const Json& j) {
+  std::ofstream out(path);
+  if (!out) throw ProtocolError("cannot open '" + path + "'");
+  out << j.dump(2) << "\n";
+  out.flush();
+  if (!out.good()) throw ProtocolError("write to '" + path + "' failed");
+}
+
+// The --metrics document, shared by run and explore:
+//   {"process": <coordinator snapshot>,
+//    "workers": [<one snapshot per surviving shard worker>, ...],
+//    "merged":  <process + sum of workers>}
+// merged is recomputed here by MetricsSnapshot::merge, so pool-wide
+// counters always equal the sum of their parts — the property the
+// telemetry tests pin.
+void write_metrics_file(const std::string& path,
+                        const std::vector<MetricsSnapshot>& workers) {
+  const MetricsSnapshot process = metrics_registry().snapshot();
+  Json doc = Json::object();
+  doc.set("process", process.to_json());
+  Json warr = Json::array();
+  MetricsSnapshot merged = process;
+  for (const MetricsSnapshot& w : workers) {
+    warr.push(w.to_json());
+    merged.merge(w);
+  }
+  doc.set("workers", std::move(warr));
+  doc.set("merged", merged.to_json());
+  write_json_file(path, doc);
+}
+
 int cmd_run(int argc, char** argv) {
   Args args(argc, argv, 2,
             {"in", "source", "mode", "seeds", "mem", "wait", "scheduler",
              "steps", "wall", "crash-p", "crash-max", "inputs", "shards",
-             "threads", "json", "title"},
-            {"no-timing", "fork-workers"});
+             "threads", "json", "title", "metrics", "trace"},
+            {"no-timing", "fork-workers", "progress"});
   if (args.positional().size() != 1) {
     throw ProtocolError("run needs exactly one scenario name (see `mpcn "
                         "list`)");
@@ -265,8 +310,21 @@ int cmd_run(int argc, char** argv) {
   if (batch.shards > 0 && !args.has("fork-workers")) {
     batch.worker_argv = {self_exe_path(argv[0]), "worker"};
   }
+  batch.progress = args.has("progress");
+  std::vector<MetricsSnapshot> worker_snaps;
+  if (args.has("metrics") && batch.shards > 0) {
+    batch.worker_metrics = &worker_snaps;
+  }
+  if (args.has("trace")) set_tracing_enabled(true);
 
   const Report report = e.run_all(batch);
+
+  if (const auto path = args.value("metrics")) {
+    write_metrics_file(*path, worker_snaps);
+  }
+  if (const auto path = args.value("trace")) {
+    write_json_file(*path, dump_trace_json());
+  }
 
   const bool include_timing = !args.has("no-timing");
   const std::string json_path = args.value_or("json", "");
@@ -303,22 +361,15 @@ ScheduleTrace load_trace(const std::string& path) {
   return ScheduleTrace::from_json(Json::parse(text.str()));
 }
 
-void write_json_file(const std::string& path, const Json& j) {
-  std::ofstream out(path);
-  if (!out) throw ProtocolError("cannot open '" + path + "'");
-  out << j.dump(2) << "\n";
-  out.flush();
-  if (!out.good()) throw ProtocolError("write to '" + path + "' failed");
-}
-
 int cmd_explore(int argc, char** argv) {
   Args args(argc, argv, 2,
             {"in", "source", "mode", "mem", "steps", "wall", "inputs",
              "policy", "budget", "seed", "max-violations", "pct-depth",
              "horizon", "bound", "crash-budget", "crash-rate",
              "shrink-budget", "record", "replay",
-             "json", "shards", "threads"},
-            {"check-lin", "check-races", "no-shrink", "fork-workers"});
+             "json", "shards", "threads", "metrics", "trace"},
+            {"check-lin", "check-races", "no-shrink", "fork-workers",
+             "progress"});
   if (args.positional().size() != 1) {
     throw ProtocolError(
         "explore needs exactly one scenario name (see `mpcn list`)");
@@ -478,9 +529,21 @@ int cmd_explore(int argc, char** argv) {
   if (opts.shards > 0 && !args.has("fork-workers")) {
     opts.worker_argv = {self_exe_path(argv[0]), "worker"};
   }
+  opts.progress = args.has("progress");
+  std::vector<MetricsSnapshot> worker_snaps;
+  if (args.has("metrics") && opts.shards > 0) {
+    opts.worker_metrics = &worker_snaps;
+  }
+  if (args.has("trace")) set_tracing_enabled(true);
 
   const ExploreResult result = explore(cell, opts);
 
+  if (const auto path = args.value("metrics")) {
+    write_metrics_file(*path, worker_snaps);
+  }
+  if (const auto path = args.value("trace")) {
+    write_json_file(*path, dump_trace_json());
+  }
   if (const auto path = args.value("record")) {
     write_json_file(*path, result.first_trace.to_json());
   }

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace mpcn {
+
+namespace {
+Counter& arena_bytes() {
+  static Counter& c = metrics_registry().counter("arena.bytes");
+  return c;
+}
+Counter& arena_chunks() {
+  static Counter& c = metrics_registry().counter("arena.chunks");
+  return c;
+}
+Counter& arena_resets() {
+  static Counter& c = metrics_registry().counter("arena.resets");
+  return c;
+}
+}  // namespace
 
 Arena::Arena(std::size_t first_chunk_bytes)
     : next_chunk_bytes_(std::max<std::size_t>(first_chunk_bytes, 64)) {}
@@ -23,6 +40,7 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
       if (aligned + bytes <= c.size) {
         offset_ = aligned + bytes;
         used_ += bytes;
+        arena_bytes().add(bytes);
         return c.data.get() + aligned;
       }
       ++chunk_index_;
@@ -37,6 +55,7 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
     c.size = size;
     chunks_.push_back(std::move(c));
     next_chunk_bytes_ = size * 2;
+    arena_chunks().add();
   }
 }
 
@@ -45,6 +64,7 @@ void Arena::reset() {
   offset_ = 0;
   used_ = 0;
   ++resets_;
+  arena_resets().add();
 }
 
 std::size_t Arena::bytes_reserved() const {

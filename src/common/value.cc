@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+
 namespace mpcn {
 
 namespace {
@@ -13,6 +15,22 @@ int kind_rank(const Value& v) {
   if (v.is_int()) return 1;
   if (v.is_string()) return 2;
   return 3;
+}
+
+// Hit/miss rates for the two PR 7 fast paths: the interned small-int
+// pool and the per-ListNode memoized hash. Relaxed sharded increments
+// (metrics.h hot-path idiom).
+Counter& intern_hits() {
+  static Counter& c = metrics_registry().counter("value.intern_hits");
+  return c;
+}
+Counter& hash_memo_hits() {
+  static Counter& c = metrics_registry().counter("value.hash_memo_hits");
+  return c;
+}
+Counter& hash_memo_misses() {
+  static Counter& c = metrics_registry().counter("value.hash_memo_misses");
+  return c;
 }
 
 }  // namespace
@@ -55,6 +73,7 @@ const Value& Value::small(std::int64_t k) {
     throw std::out_of_range("Value::small expects 0..255, got " +
                             std::to_string(k));
   }
+  intern_hits().add();
   return kPool[static_cast<std::size_t>(k)];
 }
 
@@ -147,9 +166,12 @@ std::size_t Value::hash() const {
     const ListNode& node = *std::get<SharedList>(rep_);
     std::size_t h = node.cached_hash.load(std::memory_order_relaxed);
     if (h == 0) {
+      hash_memo_misses().add();
       h = hash_uncached();
       if (h == 0) h = 1;  // reserve 0 as the "not computed" sentinel
       node.cached_hash.store(h, std::memory_order_relaxed);
+    } else {
+      hash_memo_hits().add();
     }
     return h;
   }

@@ -16,8 +16,62 @@
 
 #include "src/common/errors.h"
 #include "src/experiment/batch_runner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/spans.h"
 
 namespace mpcn {
+
+namespace {
+
+// Shard-pool telemetry (src/obs/metrics.h): coordinator-side counters
+// for churn and flow, worker-side counters for served work. All sidecar;
+// the merged Report never sees them.
+Counter& m_cells_dispatched() {
+  static Counter& c = metrics_registry().counter("shard.cells_dispatched");
+  return c;
+}
+Counter& m_cells_requeued() {
+  static Counter& c = metrics_registry().counter("shard.cells_requeued");
+  return c;
+}
+Counter& m_workers_written_off() {
+  static Counter& c = metrics_registry().counter("shard.workers_written_off");
+  return c;
+}
+Counter& m_workers_respawned() {
+  static Counter& c = metrics_registry().counter("shard.workers_respawned");
+  return c;
+}
+Counter& m_backoff_waits() {
+  static Counter& c = metrics_registry().counter("shard.backoff_waits");
+  return c;
+}
+Counter& m_garbage_lines() {
+  static Counter& c = metrics_registry().counter("shard.garbage_lines");
+  return c;
+}
+Counter& m_fallback_cells() {
+  static Counter& c = metrics_registry().counter("shard.fallback_cells");
+  return c;
+}
+Gauge& m_queue_depth() {
+  static Gauge& g = metrics_registry().gauge("shard.queue_depth");
+  return g;
+}
+Histogram& m_cell_latency() {
+  static Histogram& h = metrics_registry().histogram("shard.cell_latency_us");
+  return h;
+}
+Counter& m_worker_cells_served() {
+  static Counter& c = metrics_registry().counter("worker.cells_served");
+  return c;
+}
+Counter& m_worker_garbage_lines() {
+  static Counter& c = metrics_registry().counter("worker.garbage_lines");
+  return c;
+}
+
+}  // namespace
 
 // --------------------------------------------------------------- worker
 
@@ -32,11 +86,19 @@ void run_worker_loop(LineIO& io, const WorkerOptions& options) {
     } catch (const WireError& e) {
       // Bad framing is the sender's bug; answer with a diagnostic and
       // keep serving — one garbage line must not take the worker down.
+      m_worker_garbage_lines().add();
       if (!io.write_line(error_line(e.what()))) return;
       continue;
     }
     switch (msg.type) {
       case WireMessage::Type::kShutdown:
+        // The opt-in telemetry exchange: ship one snapshot of this
+        // process's counters back before exiting. A plain shutdown gets
+        // no reply (pre-telemetry coordinators and tests see identical
+        // bytes).
+        if (msg.want_metrics) {
+          io.write_line(metrics_line(metrics_registry().snapshot()));
+        }
         return;
       case WireMessage::Type::kCell: {
         ++cells_received;
@@ -45,19 +107,24 @@ void run_worker_loop(LineIO& io, const WorkerOptions& options) {
         }
         const CellSpec& spec = *msg.spec;
         RunRecord rec;
-        try {
-          rec = run_cell(spec.to_cell());
-        } catch (const std::exception& e) {
-          // to_cell() failures (unknown scenario, invalid model): the
-          // spec's identity fields still label the error record.
-          rec = spec.error_record(e.what());
+        {
+          ScopedSpan span("worker.cell", "shard");
+          try {
+            rec = run_cell(spec.to_cell());
+          } catch (const std::exception& e) {
+            // to_cell() failures (unknown scenario, invalid model): the
+            // spec's identity fields still label the error record.
+            rec = spec.error_record(e.what());
+          }
         }
+        m_worker_cells_served().add();
         if (!io.write_line(result_line(msg.id, rec))) return;
         break;
       }
       case WireMessage::Type::kHello:
       case WireMessage::Type::kResult:
       case WireMessage::Type::kError:
+      case WireMessage::Type::kMetrics:
         break;  // tolerated, meaningless towards a worker
     }
   }
@@ -162,6 +229,10 @@ WorkerProc spawn_worker(const ShardOptions& options, int index,
     }
     // Fork mode: serve straight from the forked image. _exit (not exit)
     // so the child never runs the parent's atexit/stream flushing.
+    // Zero the inherited metrics first — a forked child carries the
+    // coordinator's counter values, and a worker snapshot must report
+    // only its own work or pool-wide sums double-count.
+    metrics_registry().reset();
     FdLineIO io(sv[1], sv[1]);
     WorkerOptions wo;
     wo.max_cells = quota;
@@ -257,6 +328,7 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
   auto write_off = [&](WorkerProc& w, const char* why) {
     if (!w.alive) return;
     w.alive = false;
+    m_workers_written_off().add();
     close_fd(w.fd);
     if (w.pid > 0) {
       ::kill(w.pid, SIGKILL);
@@ -266,7 +338,11 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
     }
     if (w.busy) {
       w.busy = false;
-      if (!seen[w.outstanding]) pending.push_front(w.outstanding);
+      if (!seen[w.outstanding]) {
+        pending.push_front(w.outstanding);
+        m_cells_requeued().add();
+        m_queue_depth().set(static_cast<std::int64_t>(pending.size()));
+      }
     }
     // Schedule the slot's relaunch while respawn budget remains; the
     // backoff doubles with every attempt already spent.
@@ -274,9 +350,32 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       w.respawn_pending = true;
       w.respawn_at = std::chrono::steady_clock::now() +
                      respawn_delay(options, w.respawns);
+      m_backoff_waits().add();
     }
     std::fprintf(stderr, "[shard] worker written off (%s); requeueing\n",
                  why);
+  };
+
+  // Progress heartbeat (stderr, opt-in): printed on result arrivals,
+  // throttled so cheap cells do not flood the terminal.
+  const auto progress_started = std::chrono::steady_clock::now();
+  auto progress_last = progress_started;
+  auto report_progress = [&] {
+    if (!options.progress) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (done < cells.size() &&
+        now - progress_last < std::chrono::milliseconds(500)) {
+      return;
+    }
+    progress_last = now;
+    const double secs =
+        std::chrono::duration<double>(now - progress_started).count();
+    const double rate = secs > 0 ? static_cast<double>(done) / secs : 0.0;
+    const double eta =
+        rate > 0 ? static_cast<double>(cells.size() - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "[shard] %zu/%zu cells (%.0f/s, eta %.1fs, queue %zu)\n",
+                 done, cells.size(), rate, eta, pending.size());
   };
 
   // Returns false on a protocol violation (caller writes the worker off).
@@ -284,7 +383,13 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
     WireMessage msg;
     try {
       msg = parse_wire_line(line);
-    } catch (const WireError&) {
+    } catch (const WireError& e) {
+      // Count garbage before writing the worker off: a pool suffering
+      // framing corruption shows up in telemetry, not only in scattered
+      // stderr lines. The excerpt (wire_excerpt) says what arrived.
+      m_garbage_lines().add();
+      std::fprintf(stderr, "[shard] garbage line from worker: %s\n",
+                   e.what());
       return false;
     }
     switch (msg.type) {
@@ -302,13 +407,32 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         }
         const std::size_t id = w.outstanding;
         w.busy = false;
+        const auto now = std::chrono::steady_clock::now();
+        const auto latency_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - w.sent_at)
+                .count();
+        m_cell_latency().record(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(latency_us, 0)));
+        if (tracing_enabled()) {
+          const std::uint64_t end_us = trace_now_us();
+          const auto dur = static_cast<std::uint64_t>(
+              std::max<std::int64_t>(latency_us, 0));
+          record_span("shard.cell", "shard",
+                      end_us >= dur ? end_us - dur : 0, dur);
+        }
         arrivals.records.push_back(std::move(*msg.record));
         if (!seen[id]) {
           seen[id] = true;
           ++done;
         }
+        report_progress();
         return true;
       }
+      case WireMessage::Type::kMetrics:
+        // A snapshot outside the shutdown handshake is harmless —
+        // telemetry must never kill a worker.
+        return true;
       case WireMessage::Type::kCell:
       case WireMessage::Type::kShutdown:
         return false;  // coordinator-only messages coming back at us
@@ -338,6 +462,7 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         w.alive = true;
         w.busy = false;
         w.inbuf.clear();
+        m_workers_respawned().add();
         std::fprintf(stderr,
                      "[shard] worker slot %zu respawned (attempt %d/%d)\n",
                      i, w.respawns, options.max_respawns);
@@ -365,6 +490,8 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       w.busy = true;
       w.outstanding = id;
       w.sent_at = std::chrono::steady_clock::now();
+      m_cells_dispatched().add();
+      m_queue_depth().set(static_cast<std::int64_t>(pending.size()));
     }
 
     std::vector<pollfd> fds;
@@ -470,9 +597,52 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
     }
   }
 
+  // Shutdown. With worker_metrics requested, each live worker is asked
+  // (shutdown_line(true)) for one final metrics line and given a short
+  // deadline to deliver it — a worker that stalls is reaped like any
+  // other; telemetry never blocks teardown for long.
+  auto read_worker_metrics = [&](WorkerProc& w) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    for (;;) {
+      std::size_t nl;
+      while ((nl = w.inbuf.find('\n')) != std::string::npos) {
+        const std::string line = w.inbuf.substr(0, nl);
+        w.inbuf.erase(0, nl + 1);
+        try {
+          WireMessage msg = parse_wire_line(line);
+          if (msg.type == WireMessage::Type::kMetrics && msg.snapshot) {
+            options.worker_metrics->push_back(std::move(*msg.snapshot));
+            return;
+          }
+          // Late results/errors racing the shutdown: skip, keep reading.
+        } catch (const WireError&) {
+          m_garbage_lines().add();
+        }
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return;
+      const int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count() +
+          1);
+      pollfd pfd{w.fd, POLLIN, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) return;
+      char chunk[4096];
+      const ssize_t n = ::recv(w.fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // EOF: worker died without a snapshot
+      w.inbuf.append(chunk, static_cast<std::size_t>(n));
+    }
+  };
+
   for (WorkerProc& w : workers) {
     if (!w.alive) continue;
-    send_line(w.fd, shutdown_line());
+    const bool want_metrics = options.worker_metrics != nullptr;
+    if (send_line(w.fd, shutdown_line(want_metrics)) && want_metrics) {
+      read_worker_metrics(w);
+    }
     close_fd(w.fd);
     reap(w.pid, std::chrono::milliseconds(500));
     w.pid = -1;
@@ -501,6 +671,8 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       arrivals.records.push_back(run_cell(cells[i]));
       seen[i] = true;
       ++done;
+      m_fallback_cells().add();
+      report_progress();
     }
   }
 

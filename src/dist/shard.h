@@ -84,6 +84,16 @@ struct ShardOptions {
   // BatchRunner does — keeping sharded and in-process reports
   // byte-identical).
   std::string title;
+  // Telemetry (sidecar-only; never affects the Report):
+  //
+  // Non-null: ask each worker for a MetricsSnapshot at shutdown (the
+  // wire's opt-in metrics exchange) and append every snapshot received.
+  // Workers that died mid-run contribute nothing — their counts are
+  // lost with the process, exactly like their requeued cells' first
+  // attempts.
+  std::vector<MetricsSnapshot>* worker_metrics = nullptr;
+  // Print a coarse progress heartbeat to stderr as results arrive.
+  bool progress = false;
 };
 
 // Run `cells` across worker subprocesses and merge the results into a

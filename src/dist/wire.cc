@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 
 #include "src/common/errors.h"
 #include "src/experiment/registry.h"
@@ -219,9 +220,12 @@ std::string result_line(std::int64_t id, const RunRecord& record) {
   return j.dump();
 }
 
-std::string shutdown_line() {
+std::string shutdown_line(bool want_metrics) {
   Json j = Json::object();
   j.set("type", "shutdown");
+  // Absent when false: a plain shutdown stays byte-identical to the
+  // pre-telemetry protocol.
+  if (want_metrics) j.set("metrics", true);
   return j.dump();
 }
 
@@ -231,19 +235,48 @@ std::string error_line(const std::string& message) {
   return j.dump();
 }
 
+std::string metrics_line(const MetricsSnapshot& snapshot) {
+  Json j = Json::object();
+  j.set("type", "metrics").set("snapshot", snapshot.to_json());
+  return j.dump();
+}
+
+std::string wire_excerpt(const std::string& line) {
+  constexpr std::size_t kMax = 120;
+  std::string out;
+  out.reserve(kMax + 32);
+  for (std::size_t i = 0; i < line.size() && out.size() < kMax; ++i) {
+    const unsigned char c = static_cast<unsigned char>(line[i]);
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out += buf;
+    }
+  }
+  if (out.size() < line.size()) out += "...";
+  out += " (" + std::to_string(line.size()) + " bytes)";
+  return out;
+}
+
 WireMessage parse_wire_line(const std::string& line) {
   Json j;
   try {
     j = Json::parse(line);
   } catch (const JsonError& e) {
-    throw WireError(std::string("unparsable wire line: ") + e.what());
+    // Carry a truncated excerpt of the offending line: a coordinator
+    // logging this error (or a worker echoing it back) should show WHAT
+    // arrived, not only why it failed to parse.
+    throw WireError(std::string("unparsable wire line: ") + e.what() +
+                    " in: " + wire_excerpt(line));
   }
   if (!j.is_object()) {
-    throw WireError("wire line is not a JSON object: " + line);
+    throw WireError("wire line is not a JSON object: " + wire_excerpt(line));
   }
   const Json* type = j.find("type");
   if (!type || !type->is_string()) {
-    throw WireError("wire line has no string 'type': " + line);
+    throw WireError("wire line has no string 'type': " + wire_excerpt(line));
   }
   try {
     WireMessage msg;
@@ -261,6 +294,10 @@ WireMessage parse_wire_line(const std::string& line) {
       msg.record = RunRecord::from_json(j.at("record"));
     } else if (t == "shutdown") {
       msg.type = WireMessage::Type::kShutdown;
+      if (const Json* m = j.find("metrics")) msg.want_metrics = m->as_bool();
+    } else if (t == "metrics") {
+      msg.type = WireMessage::Type::kMetrics;
+      msg.snapshot = MetricsSnapshot::from_json(j.at("snapshot"));
     } else if (t == "error") {
       msg.type = WireMessage::Type::kError;
       msg.message = j.at("message").as_string();

@@ -7,7 +7,16 @@
 //   coordinator -> worker   {"type":"cell","id":<i>,"spec":{...}}
 //   worker -> coordinator   {"type":"result","id":<i>,"record":{...}}
 //   coordinator -> worker   {"type":"shutdown"}
+//   coordinator -> worker   {"type":"shutdown","metrics":true}
+//   worker -> coordinator   {"type":"metrics","snapshot":{...}}
 //   worker -> coordinator   {"type":"error","message":"..."}   (bad line)
+//
+// The metrics exchange is telemetry-only and opt-in: a plain shutdown
+// line is byte-identical to the pre-telemetry protocol and gets no
+// reply; "metrics":true asks the worker to answer with one snapshot
+// (src/obs/metrics.h) of its process-local counters before exiting, so
+// the coordinator can merge a pool-wide view. Reports never carry
+// metrics — the byte-identity discipline is untouched.
 //
 // The framing is safe because Json::dump() escapes control characters —
 // a compact dump never contains a raw newline. Unparsable or truncated
@@ -34,6 +43,7 @@
 #include "src/common/json.h"
 #include "src/experiment/experiment.h"
 #include "src/experiment/record.h"
+#include "src/obs/metrics.h"
 
 namespace mpcn {
 
@@ -106,13 +116,15 @@ struct CellSpec {
 // ------------------------------------------------------------- framing
 
 struct WireMessage {
-  enum class Type { kHello, kCell, kResult, kShutdown, kError };
+  enum class Type { kHello, kCell, kResult, kShutdown, kError, kMetrics };
   Type type = Type::kError;
   int protocol = 0;                 // kHello
   std::int64_t id = -1;             // kCell / kResult: coordinator cell id
   std::optional<CellSpec> spec;     // kCell
   std::optional<RunRecord> record;  // kResult (timing included)
   std::string message;              // kError
+  bool want_metrics = false;        // kShutdown: reply with a snapshot
+  std::optional<MetricsSnapshot> snapshot;  // kMetrics
 };
 
 // Encoders return the compact single-line JSON WITHOUT the trailing
@@ -120,8 +132,16 @@ struct WireMessage {
 std::string hello_line();
 std::string cell_line(std::int64_t id, const CellSpec& spec);
 std::string result_line(std::int64_t id, const RunRecord& record);
-std::string shutdown_line();
+// want_metrics = false emits the pre-telemetry {"type":"shutdown"}
+// bytes; true asks the worker for a metrics line before it exits.
+std::string shutdown_line(bool want_metrics = false);
 std::string error_line(const std::string& message);
+std::string metrics_line(const MetricsSnapshot& snapshot);
+
+// A short printable excerpt of a (possibly binary / overlong) wire line
+// for diagnostics: control bytes escaped, truncated to ~120 chars with
+// the original byte count appended. Exposed for tests.
+std::string wire_excerpt(const std::string& line);
 
 // Parse one line into a message. Throws WireError on anything that is
 // not exactly one well-formed message object.

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/dist/shard.h"
+#include "src/obs/progress.h"
 
 namespace mpcn {
 
@@ -27,6 +28,8 @@ Report BatchRunner::run(const std::vector<ExperimentCell>& cells) const {
     shard.worker_argv = options_.worker_argv;
     shard.watchdog_grace = options_.watchdog_grace;
     shard.title = options_.title;
+    shard.worker_metrics = options_.worker_metrics;
+    shard.progress = options_.progress;
     return run_sharded(cells, shard);
   }
   Report report;
@@ -45,11 +48,14 @@ Report BatchRunner::run(const std::vector<ExperimentCell>& cells) const {
   // index and writes into its pre-assigned slot, so the record order is
   // the grid order no matter how workers interleave.
   std::atomic<std::size_t> next{0};
+  ProgressMeter meter(options_.progress, "batch", "cells",
+                      static_cast<int>(cells.size()));
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) return;
       report.records[i] = run_cell(cells[i]);
+      meter.tick();
     }
   };
 

@@ -26,6 +26,7 @@
 
 #include "src/experiment/experiment.h"
 #include "src/experiment/record.h"
+#include "src/obs/metrics.h"
 
 namespace mpcn {
 
@@ -45,6 +46,15 @@ struct BatchOptions {
   // wall_limit plus this grace is killed and the cell requeued.
   // <= 0 disables.
   std::chrono::milliseconds watchdog_grace{30'000};
+  // Telemetry passthrough to the sharded backend (ShardOptions): collect
+  // one MetricsSnapshot per surviving worker at shutdown. Ignored by the
+  // in-process backend (its counters land in the process registry
+  // directly). Sidecar-only — never affects the Report.
+  std::vector<MetricsSnapshot>* worker_metrics = nullptr;
+  // stderr progress heartbeat: the in-process backend samples a
+  // completed-cells counter; the sharded backend prints on result
+  // arrivals.
+  bool progress = false;
 };
 
 class BatchRunner {

@@ -9,6 +9,8 @@
 #include "src/common/errors.h"
 #include "src/experiment/batch_runner.h"
 #include "src/history/history.h"
+#include "src/obs/progress.h"
+#include "src/obs/spans.h"
 #include "src/runtime/process_pool.h"
 
 namespace mpcn {
@@ -34,6 +36,42 @@ ExplorePolicy explore_policy_from_string(const std::string& s) {
 }
 
 namespace {
+
+// Explorer telemetry (src/obs/metrics.h). Pure sidecar: counters mirror
+// the result accounting but never feed back into it, so instrumented
+// and uninstrumented searches produce byte-identical reports.
+Counter& m_schedules() {
+  static Counter& c = metrics_registry().counter("explore.schedules");
+  return c;
+}
+Counter& m_steps() {
+  static Counter& c = metrics_registry().counter("explore.steps");
+  return c;
+}
+Counter& m_violations() {
+  static Counter& c = metrics_registry().counter("explore.violations");
+  return c;
+}
+Counter& m_races() {
+  static Counter& c = metrics_registry().counter("explore.races");
+  return c;
+}
+Counter& m_crash_violations() {
+  static Counter& c = metrics_registry().counter("explore.crash_violations");
+  return c;
+}
+Counter& m_shrink_replays() {
+  static Counter& c = metrics_registry().counter("explore.shrink_replays");
+  return c;
+}
+Counter& m_early_stops() {
+  static Counter& c = metrics_registry().counter("explore.early_stops");
+  return c;
+}
+Counter& m_spec_skips() {
+  static Counter& c = metrics_registry().counter("explore.spec_skips");
+  return c;
+}
 
 constexpr std::size_t kSpecOpCap = 64;  // linearizability checker limit
 
@@ -114,6 +152,7 @@ RunRecord run_schedule(const ExperimentCell& base, int index,
   cell.policy_override = std::move(policy);
   cell.record_schedule = true;
   cell.history = std::move(history);
+  ScopedSpan span("explore.schedule", "explore");
   return run_cell(cell);
 }
 
@@ -201,6 +240,7 @@ ScheduleTrace to_trace(const std::vector<TraceEntry>& entries) {
 
 ShrinkResult shrink(const ExperimentCell& cell, const ScheduleTrace& failing,
                     const ShrinkOptions& options) {
+  ScopedSpan span("explore.shrink", "explore");
   ShrinkResult result;
   const bool want_history =
       options.spec && cell.mode == ExecutionMode::kDirect;
@@ -359,6 +399,9 @@ ExploreResult explore(const ExperimentCell& cell,
     v.why = verdict.why;
     v.race = verdict.race;
     v.crashed = verdict.crashed;
+    m_violations().add();
+    if (v.race) m_races().add();
+    if (v.crashed) m_crash_violations().add();
     if (rec.schedule_trace) v.trace = *rec.schedule_trace;
     v.record = std::move(rec);
     if (options.shrink_violations && !v.trace.empty()) {
@@ -372,13 +415,16 @@ ExploreResult explore(const ExperimentCell& cell,
       v.shrunk = std::move(sr.trace);
       v.shrunk_verified = sr.verified;
       v.shrink_replays = sr.replays;
+      m_shrink_replays().add(static_cast<std::uint64_t>(sr.replays));
     } else {
       v.shrunk = v.trace;
     }
     result.violations.push_back(std::move(v));
-    return options.max_violations > 0 &&
-           static_cast<int>(result.violations.size()) >=
-               options.max_violations;
+    const bool stop = options.max_violations > 0 &&
+                      static_cast<int>(result.violations.size()) >=
+                          options.max_violations;
+    if (stop) m_early_stops().add();
+    return stop;
   };
 
   const int processes = std::max(1, static_cast<int>(base.inputs.size()));
@@ -426,14 +472,23 @@ ExploreResult explore(const ExperimentCell& cell,
     RunRecord rec = run_schedule(pooled_base, -1, probe, nullptr, history);
     horizon = std::max<std::uint64_t>(rec.steps, 8);
     result.total_steps += rec.steps;
+    m_steps().add(rec.steps);
     const OracleVerdict v = judge(rec, options.spec, history);
-    if (v.spec_skipped) ++result.skipped_spec_checks;
+    if (v.spec_skipped) {
+      ++result.skipped_spec_checks;
+      m_spec_skips().add();
+    }
     if (v.violated && handle_violation(-1, std::move(rec), v, pooled_base)) {
       result.pct_horizon = horizon;
       return result;
     }
   }
   result.pct_horizon = horizon;
+
+  // In-process engines report progress from a sampling thread; the
+  // sharded backend reports from its coordinator instead (below).
+  ProgressMeter heartbeat(options.progress && options.shards == 0,
+                          "explore", "schedules", options.budget);
 
   if (options.shards > 0) {
     // Declarative fan-out: one cell per schedule, shipped over the shard
@@ -453,10 +508,14 @@ ExploreResult explore(const ExperimentCell& cell,
     batch.shards = options.shards;
     batch.worker_argv = options.worker_argv;
     batch.threads = options.threads;
+    batch.worker_metrics = options.worker_metrics;
+    batch.progress = options.progress;
     const Report report = BatchRunner(batch).run(cells);
     for (const RunRecord& rec : report.records) {
       ++result.schedules;
+      m_schedules().add();
       result.total_steps += rec.steps;
+      m_steps().add(rec.steps);
       if (rec.cell_index == 0 && rec.schedule_trace) {
         result.first_trace = *rec.schedule_trace;
       }
@@ -488,12 +547,18 @@ ExploreResult explore(const ExperimentCell& cell,
       auto history = scratch_history(*scratch[0]);
       RunRecord rec = run_schedule(pooled_base, i, schedule, dfs, history);
       ++result.schedules;
+      m_schedules().add();
+      heartbeat.tick();
       result.total_steps += rec.steps;
+      m_steps().add(rec.steps);
       if (i == 0 && rec.schedule_trace) {
         result.first_trace = *rec.schedule_trace;
       }
       const OracleVerdict v = judge(rec, options.spec, history);
-      if (v.spec_skipped) ++result.skipped_spec_checks;
+      if (v.spec_skipped) {
+        ++result.skipped_spec_checks;
+        m_spec_skips().add();
+      }
       if (v.violated && handle_violation(i, std::move(rec), v, pooled_base)) {
         break;
       }
@@ -576,6 +641,7 @@ ExploreResult explore(const ExperimentCell& cell,
             slot.rec = std::make_unique<RunRecord>(std::move(rec));
           }
           slot.ran = true;
+          heartbeat.tick();
           if (slot.verdict.violated) note_violation(i);
         }
       } catch (...) {
@@ -595,11 +661,16 @@ ExploreResult explore(const ExperimentCell& cell,
     Slot& s = slots[static_cast<std::size_t>(i)];
     if (!s.ran) break;  // only reachable past the serial stop index
     ++result.schedules;
+    m_schedules().add();
     result.total_steps += s.steps;
+    m_steps().add(s.steps);
     if (i == 0 && s.rec && s.rec->schedule_trace) {
       result.first_trace = *s.rec->schedule_trace;
     }
-    if (s.spec_skipped) ++result.skipped_spec_checks;
+    if (s.spec_skipped) {
+      ++result.skipped_spec_checks;
+      m_spec_skips().add();
+    }
     if (s.verdict.violated &&
         handle_violation(i, std::move(*s.rec), s.verdict, pooled_base)) {
       break;

@@ -41,6 +41,7 @@
 #include "src/explore/policy.h"
 #include "src/explore/trace.h"
 #include "src/history/linearizability.h"
+#include "src/obs/metrics.h"
 
 namespace mpcn {
 
@@ -105,6 +106,16 @@ struct ExploreOptions {
   // With shards > 0 this is instead the per-shard-runner pool size
   // (BatchOptions::threads), as before.
   int threads = 0;
+
+  // Telemetry (sidecar-only — none of these can change a result byte):
+  //
+  // stderr heartbeat while searching: schedules completed, rate, ETA.
+  // In-process engines print from a sampling thread; the sharded backend
+  // prints on result arrivals (ShardOptions::progress).
+  bool progress = false;
+  // Non-null with shards > 0: collect one MetricsSnapshot per surviving
+  // worker subprocess at pool shutdown (see ShardOptions::worker_metrics).
+  std::vector<MetricsSnapshot>* worker_metrics = nullptr;
 };
 
 struct ExploreViolation {

@@ -1,0 +1,135 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace mpcn {
+
+std::size_t metric_thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// ----------------------------------------------------------- snapshots
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramData& mine = histograms[name];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (mine.buckets.size() < h.buckets.size()) {
+      mine.buckets.resize(h.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      mine.buckets[i] += h.buckets[i];
+    }
+  }
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json j = Json::object();
+  Json c = Json::object();
+  for (const auto& [name, v] : counters) {
+    c.set(name, static_cast<std::int64_t>(v));
+  }
+  Json g = Json::object();
+  for (const auto& [name, v] : gauges) g.set(name, v);
+  Json h = Json::object();
+  for (const auto& [name, data] : histograms) {
+    Json one = Json::object();
+    one.set("count", static_cast<std::int64_t>(data.count));
+    one.set("sum", static_cast<std::int64_t>(data.sum));
+    Json buckets = Json::array();
+    for (std::uint64_t b : data.buckets) {
+      buckets.push(static_cast<std::int64_t>(b));
+    }
+    one.set("buckets", std::move(buckets));
+    h.set(name, std::move(one));
+  }
+  j.set("counters", std::move(c));
+  j.set("gauges", std::move(g));
+  j.set("histograms", std::move(h));
+  return j;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const Json& j) {
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : j.at("counters").members()) {
+    snap.counters[name] = static_cast<std::uint64_t>(v.as_int());
+  }
+  for (const auto& [name, v] : j.at("gauges").members()) {
+    snap.gauges[name] = v.as_int();
+  }
+  for (const auto& [name, v] : j.at("histograms").members()) {
+    HistogramData data;
+    data.count = static_cast<std::uint64_t>(v.at("count").as_int());
+    data.sum = static_cast<std::uint64_t>(v.at("sum").as_int());
+    for (const Json& b : v.at("buckets").items()) {
+      data.buckets.push_back(static_cast<std::uint64_t>(b.as_int()));
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------ registry
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = h->count();
+    data.sum = h->sum();
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->bucket(i) != 0) last = i + 1;
+    }
+    data.buckets.reserve(last);
+    for (std::size_t i = 0; i < last; ++i) {
+      data.buckets.push_back(h->bucket(i));
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics_registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+}  // namespace mpcn

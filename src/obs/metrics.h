@@ -1,0 +1,193 @@
+// The metrics registry: named counters, gauges and histograms with
+// lock-free updates, snapshotable to JSON and mergeable across
+// processes.
+//
+// Design contract (the headline invariant of the telemetry layer):
+//
+//   * SIDECAR-ONLY. Metrics never touch a Report or a RunRecord —
+//     report bytes are identical with instrumentation exported or not.
+//     Export goes to its own file (`mpcn ... --metrics out.json`).
+//   * ALWAYS COMPILED IN, ALWAYS CHEAP. Instrumented sites pay one
+//     relaxed atomic increment whether or not anyone ever snapshots.
+//     Counters on the hottest paths (WaitStrategy parks, Value hash
+//     memo) are sharded across cache-line-padded slots keyed by a
+//     per-thread id, so concurrent increments do not contend.
+//   * MERGEABLE. A MetricsSnapshot is a pure bag of sums: merging is
+//     field-wise addition, hence commutative and associative — worker
+//     snapshots arriving over the wire in any order aggregate to the
+//     same pool-wide totals.
+//
+// Hot-path idiom: resolve the metric once into a function-local static
+// reference, then increment through it —
+//
+//   static Counter& c = metrics_registry().counter("wait.parks");
+//   c.add();
+//
+// Registry lookups take a mutex, but only on first resolution; metric
+// objects are never destroyed or moved, so cached references stay valid
+// for the life of the process.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace mpcn {
+
+// Cache-line-padded atomic cell; one per counter shard.
+struct alignas(64) MetricCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+// Stable small id for the calling thread, used to pick a counter shard.
+// Monotonic per thread creation; wraps around the shard count.
+std::size_t metric_thread_slot();
+
+// Monotonic counter. add() is wait-free: one relaxed fetch_add on the
+// caller's shard. value() sums the shards (racy reads are fine — every
+// increment is eventually visible, and snapshots are advisory).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n = 1) {
+    shards_[metric_thread_slot() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const MetricCell& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (MetricCell& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<MetricCell, kShards> shards_;
+};
+
+// Last-writer-wins signed level (queue depths, pool sizes). Unsharded:
+// gauges record state, not events, and are set from one site at a time.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Exponential (power-of-two) bucket histogram for nonnegative samples
+// (latencies in µs, sizes in bytes). Bucket 0 holds exactly {0}; bucket
+// i >= 1 holds [2^(i-1), 2^i); the last bucket absorbs everything above
+// 2^(kBuckets-2). record() is two relaxed fetch_adds (bucket + sum).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  static std::size_t bucket_index(std::uint64_t sample) {
+    if (sample == 0) return 0;
+    std::size_t i = 1;
+    while (i + 1 < kBuckets && (sample >>= 1) != 0) ++i;
+    return i;
+  }
+  // Lower edge of bucket i: 0 for bucket 0, else 2^(i-1).
+  static std::uint64_t bucket_floor(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t sample) {
+    buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    std::uint64_t c = 0;
+    for (const auto& b : buckets_) c += b.load(std::memory_order_relaxed);
+    return c;
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ----------------------------------------------------------- snapshots
+
+// A point-in-time, process-free copy of metric values. Plain data:
+// serializes to JSON, parses back, and merges by field-wise addition.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    // Trailing zero buckets trimmed; merge pads to the longer vector.
+    std::vector<std::uint64_t> buckets;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Field-wise sum: commutative and associative, so worker snapshots
+  // aggregate to the same totals in any arrival order.
+  void merge(const MetricsSnapshot& other);
+
+  // Deterministic dump: keys sorted (std::map order), zero-valued
+  // entries included — the metric catalog is part of the output.
+  Json to_json() const;
+  static MetricsSnapshot from_json(const Json& j);  // throws JsonError
+};
+
+// ------------------------------------------------------------ registry
+
+// Name -> metric. Creation is mutex-guarded; returned references are
+// stable for the process lifetime (metrics are never destroyed), so hot
+// paths cache them in function-local statics and never lock again.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  // Zero every registered metric (objects survive; cached references
+  // stay valid). Used by tests and by freshly forked shard workers so a
+  // worker snapshot never double-counts the coordinator's pre-fork
+  // activity.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-global registry every instrumented site reports into.
+MetricsRegistry& metrics_registry();
+
+}  // namespace mpcn

@@ -1,0 +1,45 @@
+#include "src/obs/progress.h"
+
+#include <cstdio>
+
+namespace mpcn {
+
+ProgressMeter::ProgressMeter(bool enabled, const char* label,
+                             const char* unit, int total)
+    : label_(label), unit_(unit), total_(total) {
+  if (!enabled) return;
+  started_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { loop(); });
+}
+
+ProgressMeter::~ProgressMeter() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  print();  // final line: the completed count at teardown
+}
+
+void ProgressMeter::loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  while (!cv_.wait_for(lk, std::chrono::milliseconds(500),
+                       [this] { return stop_; })) {
+    print();
+  }
+}
+
+void ProgressMeter::print() const {
+  const int done = completed_.load(std::memory_order_relaxed);
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+  const double rate = secs > 0 ? done / secs : 0.0;
+  const double eta = rate > 0 ? (total_ - done) / rate : 0.0;
+  std::fprintf(stderr, "[%s] %d/%d %s (%.0f/s, eta %.1fs)\n", label_, done,
+               total_, unit_, rate, eta > 0 ? eta : 0.0);
+}
+
+}  // namespace mpcn

@@ -1,0 +1,45 @@
+// The --progress heartbeat: a sampling thread that prints
+// "[label] done/total unit (rate/s, eta Ns)" to stderr every half
+// second while a batch of work drains, plus a final line at completion.
+//
+// Sidecar-only like the rest of src/obs/: output goes to stderr, so
+// report streams and --json files never see it. Disabled meters are
+// inert — tick() is one relaxed increment, construction spawns nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace mpcn {
+
+class ProgressMeter {
+ public:
+  // `label` and `unit` must outlive the meter (string literals).
+  ProgressMeter(bool enabled, const char* label, const char* unit,
+                int total);
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  // One unit of work finished. Wait-free; any thread.
+  void tick() { completed_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  void loop();
+  void print() const;
+
+  const char* label_;
+  const char* unit_;
+  const int total_;
+  std::atomic<int> completed_{0};
+  std::chrono::steady_clock::time_point started_{};
+  std::thread thread_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mpcn

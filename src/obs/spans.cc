@@ -1,0 +1,147 @@
+#include "src/obs/spans.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mpcn {
+
+namespace {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+// One thread's span ring. Owned by the global TraceRegistry (not the
+// thread) so events survive thread exit; the thread only keeps a raw
+// pointer in a thread_local.
+struct ThreadRing {
+  static constexpr std::size_t kCapacity = 8192;
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> events;  // ring storage, grows to kCapacity
+  std::size_t next = 0;           // ring write cursor
+  std::uint64_t dropped = 0;      // events overwritten after wrap
+
+  void push(const SpanEvent& ev) {
+    if (events.size() < kCapacity) {
+      events.push_back(ev);
+      next = events.size() % kCapacity;
+      return;
+    }
+    events[next] = ev;
+    next = (next + 1) % kCapacity;
+    ++dropped;
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+
+  ThreadRing* make_ring() {
+    std::lock_guard<std::mutex> lock(mu);
+    rings.push_back(std::make_unique<ThreadRing>());
+    rings.back()->tid = next_tid++;
+    return rings.back().get();
+  }
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry* registry = new TraceRegistry();  // never dtor'd
+  return *registry;
+}
+
+ThreadRing& thread_ring() {
+  thread_local ThreadRing* ring = trace_registry().make_ring();
+  return *ring;
+}
+
+std::atomic<bool> g_tracing{false};
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_us() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void record_span(const char* name, const char* category,
+                 std::uint64_t start_us, std::uint64_t dur_us) {
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_us = start_us;
+  ev.dur_us = dur_us;
+  thread_ring().push(ev);
+}
+
+Json dump_trace_json() {
+  struct Row {
+    SpanEvent ev;
+    std::uint32_t tid;
+  };
+  std::vector<Row> rows;
+  std::uint64_t dropped = 0;
+  {
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      dropped += ring->dropped;
+      for (const SpanEvent& ev : ring->events) {
+        rows.push_back(Row{ev, ring->tid});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.ev.start_us != b.ev.start_us) return a.ev.start_us < b.ev.start_us;
+    return a.tid < b.tid;
+  });
+  Json events = Json::array();
+  for (const Row& r : rows) {
+    Json e = Json::object();
+    e.set("name", r.ev.name)
+        .set("cat", r.ev.category)
+        .set("ph", "X")
+        .set("ts", static_cast<std::int64_t>(r.ev.start_us))
+        .set("dur", static_cast<std::int64_t>(r.ev.dur_us))
+        .set("pid", 1)
+        .set("tid", static_cast<std::int64_t>(r.tid));
+    events.push(std::move(e));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events))
+      .set("displayTimeUnit", "ms")
+      .set("droppedEvents", static_cast<std::int64_t>(dropped));
+  return doc;
+}
+
+void reset_trace() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace mpcn

@@ -1,0 +1,74 @@
+// Scoped spans: wall-time intervals recorded into per-thread ring
+// buffers and exported as Chrome trace-event JSON (the `traceEvents`
+// format Perfetto and chrome://tracing load directly).
+//
+// Like the metrics registry (metrics.h) this is sidecar-only: spans
+// never touch a Report, and when tracing is disabled — the default — a
+// ScopedSpan constructor is one relaxed atomic load and a branch.
+// Enabling is process-wide (`mpcn ... --trace out.trace.json` turns it
+// on before the run starts).
+//
+// Each thread owns a fixed-capacity ring: recording a span is a couple
+// of stores with no locking, overflow silently drops the OLDEST events
+// (a drop counter says how many), and the rings are heap-owned by a
+// global registry so a worker thread's spans survive its join and still
+// appear in the export. Span names must be string literals (the ring
+// stores the pointer, not a copy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/json.h"
+
+namespace mpcn {
+
+// Process-wide switch. Off by default; every ScopedSpan checks it with
+// one relaxed load.
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+// Microseconds since the first call in this process (steady clock).
+std::uint64_t trace_now_us();
+
+// Record one completed interval on the calling thread's ring. `name`
+// and `category` must be string literals (or otherwise outlive the
+// process). Used directly by sites that measure an interval without a
+// scope (e.g. the shard coordinator timing a cell round-trip).
+void record_span(const char* name, const char* category,
+                 std::uint64_t start_us, std::uint64_t dur_us);
+
+// RAII span: measures construction -> destruction when tracing is on.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "mpcn") {
+    if (!tracing_enabled()) return;
+    name_ = name;
+    category_ = category;
+    start_us_ = trace_now_us();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    record_span(name_, category_, start_us_, trace_now_us() - start_us_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = tracing was off at entry
+  const char* category_ = nullptr;
+  std::uint64_t start_us_ = 0;
+};
+
+// Export every thread's ring as one Chrome trace-event document:
+//   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+//                    "pid":1,"tid":<small per-thread id>}, ...],
+//    "displayTimeUnit":"ms","droppedEvents":<n>}
+// Events are sorted by (ts, tid) for viewer friendliness.
+Json dump_trace_json();
+
+// Drop all recorded spans (rings survive; tids are not reused). Tests
+// and repeated in-process runs use this between captures.
+void reset_trace();
+
+}  // namespace mpcn

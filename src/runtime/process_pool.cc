@@ -1,8 +1,16 @@
 #include "src/runtime/process_pool.h"
 
 #include "src/common/errors.h"
+#include "src/obs/metrics.h"
 
 namespace mpcn {
+
+namespace {
+Counter& pool_epochs() {
+  static Counter& c = metrics_registry().counter("pool.epochs");
+  return c;
+}
+}  // namespace
 
 ProcessPool::ProcessPool(int threads) {
   if (threads < 1) throw ProtocolError("ProcessPool needs >= 1 thread");
@@ -37,6 +45,7 @@ void ProcessPool::start(int count, const std::function<void(int)>& body) {
     remaining_ = count;
     ++epoch_;
   }
+  pool_epochs().add();
   work_cv_.notify_all();
 }
 

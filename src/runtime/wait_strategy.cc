@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/common/errors.h"
+#include "src/obs/metrics.h"
 
 #if defined(__linux__)
 #include <linux/futex.h>
@@ -43,6 +44,23 @@ WaitStrategy default_wait_strategy() {
 
 namespace {
 
+// Grant handoffs are the hottest path in a lock-step run: one relaxed
+// sharded increment per event (metrics.h hot-path idiom). "parks" are
+// kernel blocks, "spins" parks resolved without one, "wakes" permits
+// granted.
+Counter& wait_parks() {
+  static Counter& c = metrics_registry().counter("wait.parks");
+  return c;
+}
+Counter& wait_spins() {
+  static Counter& c = metrics_registry().counter("wait.spins");
+  return c;
+}
+Counter& wait_wakes() {
+  static Counter& c = metrics_registry().counter("wait.wakes");
+  return c;
+}
+
 #if defined(__linux__)
 void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
   syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
@@ -63,11 +81,13 @@ void futex_wake_one(std::atomic<std::uint32_t>* addr) {
 class CondvarWaiter : public TokenWaiter {
  public:
   void park(ParkFlag& f) override {
+    wait_parks().add();
     std::unique_lock<std::mutex> lk(f.m);
     f.cv.wait(lk, [&f] { return f.signaled(); });
   }
 
   void wake(ParkFlag& f) override {
+    wait_wakes().add();
     {
       std::lock_guard<std::mutex> lk(f.m);
       f.state.store(ParkFlag::kSignal, std::memory_order_release);
@@ -98,31 +118,41 @@ class SpinParkWaiter : public TokenWaiter {
     static const int relax_iters =
         std::thread::hardware_concurrency() > 1 ? 64 : 0;
     for (int i = 0; i < relax_iters; ++i) {
-      if (f.signaled()) return;
+      if (f.signaled()) {
+        wait_spins().add();
+        return;
+      }
       cpu_relax();
     }
     const int yields = f.spin_budget.load(std::memory_order_relaxed);
     for (int i = 0; i < yields; ++i) {
-      if (f.signaled()) return;
+      if (f.signaled()) {
+        wait_spins().add();
+        return;
+      }
       std::this_thread::yield();
     }
 #if defined(__linux__)
     std::uint32_t expected = ParkFlag::kNoSignal;
     if (!f.state.compare_exchange_strong(expected, ParkFlag::kParked,
                                          std::memory_order_acq_rel)) {
+      wait_spins().add();
       return;  // the permit arrived during the spin phase
     }
+    wait_parks().add();
     while (f.state.load(std::memory_order_acquire) != ParkFlag::kSignal) {
       futex_wait(&f.state, ParkFlag::kParked);
     }
 #else
     // Portable fallback: park on the slot cv after the spin phase.
+    wait_parks().add();
     std::unique_lock<std::mutex> lk(f.m);
     f.cv.wait(lk, [&f] { return f.signaled(); });
 #endif
   }
 
   void wake(ParkFlag& f) override {
+    wait_wakes().add();
 #if defined(__linux__)
     const std::uint32_t prev =
         f.state.exchange(ParkFlag::kSignal, std::memory_order_acq_rel);
@@ -147,6 +177,7 @@ class SpinParkWaiter : public TokenWaiter {
 class SpinWaiter : public TokenWaiter {
  public:
   void park(ParkFlag& f) override {
+    wait_spins().add();
     // One yield per failed poll: the flag must be re-checked after every
     // scheduler rotation, or a granted thread sits out whole rotations
     // while the other spinners burn them.
@@ -162,6 +193,7 @@ class SpinWaiter : public TokenWaiter {
   }
 
   void wake(ParkFlag& f) override {
+    wait_wakes().add();
     f.state.store(ParkFlag::kSignal, std::memory_order_release);
   }
 };

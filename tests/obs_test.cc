@@ -1,0 +1,398 @@
+// Tests: src/obs — the telemetry sidecar. Metric primitives (counter
+// sharding, histogram bucket edges), snapshot JSON round-trip and
+// order-independent merging, span capture, and the headline invariant:
+// report bytes are identical with instrumentation exported or not,
+// across the in-process, threaded and sharded backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cli/cli.h"
+#include "src/common/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/spans.h"
+
+namespace mpcn {
+namespace {
+
+// Run cli_main on a shell-style argv, capturing stdout (and swallowing
+// stderr noise such as --progress heartbeats).
+int run_cli(std::vector<std::string> argv_s, std::string* out = nullptr) {
+  std::vector<char*> argv;
+  argv.reserve(argv_s.size());
+  for (std::string& a : argv_s) argv.push_back(a.data());
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int code = cli_main(static_cast<int>(argv.size()), argv.data());
+  const std::string captured = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  if (out) *out = captured;
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+// ------------------------------------------------------------ primitives
+
+TEST(Counter, SumsConcurrentShardedIncrements) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndReset) {
+  Gauge g;
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketEdgesArePowersOfTwo) {
+  // Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 20), 21u);
+  EXPECT_EQ(Histogram::bucket_index((std::uint64_t{1} << 21) - 1), 21u);
+  // Everything past the top edge lands in the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(2), 2u);
+  EXPECT_EQ(Histogram::bucket_floor(3), 4u);
+  // Every sample >= its bucket's floor and < the next floor (except the
+  // open-ended last bucket).
+  for (const std::uint64_t s : {0ull, 1ull, 5ull, 100ull, 65'536ull}) {
+    const std::size_t i = Histogram::bucket_index(s);
+    EXPECT_GE(s, Histogram::bucket_floor(i)) << s;
+    if (i + 1 < Histogram::kBuckets) {
+      EXPECT_LT(s, Histogram::bucket_floor(i + 1)) << s;
+    }
+  }
+}
+
+TEST(Histogram, RecordAccumulatesCountAndSum) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1001u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(1000)), 1u);
+}
+
+// ------------------------------------------------------------- snapshots
+
+MetricsSnapshot sample_snapshot(std::uint64_t scale) {
+  MetricsSnapshot s;
+  s.counters["explore.schedules"] = 10 * scale;
+  s.counters["wait.parks"] = scale;
+  s.gauges["shard.queue_depth"] = static_cast<std::int64_t>(scale) - 2;
+  MetricsSnapshot::HistogramData h;
+  h.count = 2 * scale;
+  h.sum = 100 * scale;
+  h.buckets = std::vector<std::uint64_t>(1 + scale % 5, scale);
+  s.histograms["shard.cell_latency_us"] = h;
+  return s;
+}
+
+TEST(MetricsSnapshot, JsonRoundTripsByteIdentically) {
+  const MetricsSnapshot s = sample_snapshot(3);
+  const std::string first = s.to_json().dump();
+  const MetricsSnapshot back = MetricsSnapshot::from_json(s.to_json());
+  EXPECT_EQ(back.to_json().dump(), first);
+  // Empty snapshot round-trips too.
+  const MetricsSnapshot empty;
+  EXPECT_EQ(MetricsSnapshot::from_json(empty.to_json()).to_json().dump(),
+            empty.to_json().dump());
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MetricsSnapshot, MergeIsCommutativeAndAssociative) {
+  // Distinct key sets, overlapping keys, and histograms of different
+  // bucket lengths: the awkward merge inputs.
+  std::vector<MetricsSnapshot> parts = {sample_snapshot(1),
+                                        sample_snapshot(4),
+                                        sample_snapshot(2)};
+  parts[1].counters["shard.cells_dispatched"] = 9;  // only in one part
+  parts[2].gauges["pool.size"] = -5;
+
+  // Reference: left-fold in the given order.
+  MetricsSnapshot ref;
+  for (const MetricsSnapshot& p : parts) ref.merge(p);
+  const std::string want = ref.to_json().dump();
+
+  // Every permutation of arrival order lands on the same totals.
+  std::vector<std::size_t> idx = {0, 1, 2};
+  std::sort(idx.begin(), idx.end());
+  do {
+    MetricsSnapshot m;
+    for (const std::size_t i : idx) m.merge(parts[i]);
+    EXPECT_EQ(m.to_json().dump(), want);
+  } while (std::next_permutation(idx.begin(), idx.end()));
+
+  // Associativity: (a+b)+c == a+(b+c).
+  MetricsSnapshot ab = parts[0];
+  ab.merge(parts[1]);
+  ab.merge(parts[2]);
+  MetricsSnapshot bc = parts[1];
+  bc.merge(parts[2]);
+  MetricsSnapshot a_bc = parts[0];
+  a_bc.merge(bc);
+  EXPECT_EQ(ab.to_json().dump(), a_bc.to_json().dump());
+
+  // Merged totals are the field-wise sums.
+  MetricsSnapshot m;
+  for (const MetricsSnapshot& p : parts) m.merge(p);
+  EXPECT_EQ(m.counters["explore.schedules"], 10u * (1 + 4 + 2));
+  EXPECT_EQ(m.counters["shard.cells_dispatched"], 9u);
+  EXPECT_EQ(m.gauges["shard.queue_depth"], (1 - 2) + (4 - 2) + (2 - 2));
+  EXPECT_EQ(m.histograms["shard.cell_latency_us"].count, 2u * (1 + 4 + 2));
+  EXPECT_EQ(m.histograms["shard.cell_latency_us"].sum, 100u * (1 + 4 + 2));
+}
+
+TEST(MetricsRegistry, SnapshotResetAndStableReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  c.add(5);
+  reg.gauge("test.gauge").set(-1);
+  reg.histogram("test.histogram").record(3);
+
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.counter"), 5u);
+  EXPECT_EQ(snap.gauges.at("test.gauge"), -1);
+  EXPECT_EQ(snap.histograms.at("test.histogram").count, 1u);
+
+  // reset() zeroes values but keeps objects: cached references stay
+  // valid, and the metric catalog survives in later snapshots.
+  reg.reset();
+  c.add(2);  // through the pre-reset reference
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.counter"), 2u);
+  EXPECT_EQ(snap.gauges.at("test.gauge"), 0);
+  EXPECT_EQ(snap.histograms.at("test.histogram").count, 0u);
+  // Same name resolves to the same object.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+}
+
+// ----------------------------------------------------------------- spans
+
+TEST(Spans, CapturesIntervalsOnlyWhenEnabled) {
+  reset_trace();
+  set_tracing_enabled(false);
+  { ScopedSpan off("obs_test.off", "test"); }
+  set_tracing_enabled(true);
+  { ScopedSpan on("obs_test.on", "test"); }
+  record_span("obs_test.manual", "test", trace_now_us(), 7);
+  set_tracing_enabled(false);
+
+  const Json doc = dump_trace_json();
+  const Json& events = doc.at("traceEvents");
+  std::size_t on_count = 0, off_count = 0, manual_count = 0;
+  for (const Json& e : events.items()) {
+    const std::string name = e.at("name").as_string();
+    if (name == "obs_test.on") ++on_count;
+    if (name == "obs_test.off") ++off_count;
+    if (name == "obs_test.manual") ++manual_count;
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("pid").as_int(), 1);
+    EXPECT_GE(e.at("tid").as_int(), 1);
+  }
+  EXPECT_EQ(on_count, 1u);
+  EXPECT_EQ(off_count, 0u);
+  EXPECT_EQ(manual_count, 1u);
+  reset_trace();
+}
+
+// ------------------------------------------- the sidecar-only invariant
+
+// Report bytes must be identical with telemetry exported or not — the
+// headline invariant of this layer, pinned per backend.
+TEST(Sidecar, RunReportBytesIdenticalWithMetricsOn) {
+  TempFile plain("obs_run_plain.json");
+  TempFile instrumented("obs_run_instr.json");
+  TempFile metrics("obs_run_metrics.json");
+  TempFile trace("obs_run_trace.json");
+  const std::vector<std::string> base = {
+      "mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+      "--seeds", "1..2", "--no-timing"};
+
+  std::vector<std::string> argv = base;
+  argv.insert(argv.end(), {"--json", plain.path});
+  ASSERT_EQ(run_cli(argv), 0);
+
+  argv = base;
+  argv.insert(argv.end(),
+              {"--json", instrumented.path, "--metrics", metrics.path,
+               "--trace", trace.path, "--progress"});
+  ASSERT_EQ(run_cli(argv), 0);
+
+  const std::string plain_text = slurp(plain.path);
+  ASSERT_FALSE(plain_text.empty());
+  EXPECT_EQ(plain_text, slurp(instrumented.path));
+
+  // The sidecar files themselves are well-formed.
+  const Json mdoc = Json::parse(slurp(metrics.path));
+  EXPECT_TRUE(mdoc.find("process") != nullptr);
+  EXPECT_TRUE(mdoc.find("workers") != nullptr);
+  EXPECT_TRUE(mdoc.find("merged") != nullptr);
+  const Json tdoc = Json::parse(slurp(trace.path));
+  EXPECT_TRUE(tdoc.find("traceEvents") != nullptr);
+  set_tracing_enabled(false);
+  reset_trace();
+}
+
+TEST(Sidecar, ThreadedAndShardedBackendsStayByteIdenticalToo) {
+  TempFile plain("obs_backend_plain.json");
+  TempFile threaded("obs_backend_threads.json");
+  TempFile sharded("obs_backend_shard.json");
+  TempFile metrics_t("obs_backend_metrics_t.json");
+  TempFile metrics_s("obs_backend_metrics_s.json");
+  const std::vector<std::string> base = {
+      "mpcn", "run", "snapshot_churn", "--in", "3,0,1",
+      "--seeds", "1..4", "--no-timing"};
+
+  std::vector<std::string> argv = base;
+  argv.insert(argv.end(), {"--json", plain.path});
+  ASSERT_EQ(run_cli(argv), 0);
+
+  argv = base;
+  argv.insert(argv.end(), {"--threads", "2", "--json", threaded.path,
+                           "--metrics", metrics_t.path});
+  ASSERT_EQ(run_cli(argv), 0);
+
+  // Fork-mode workers: the test binary cannot exec itself as `mpcn`.
+  argv = base;
+  argv.insert(argv.end(),
+              {"--shards", "2", "--fork-workers", "--json", sharded.path,
+               "--metrics", metrics_s.path});
+  ASSERT_EQ(run_cli(argv), 0);
+
+  const std::string plain_text = slurp(plain.path);
+  ASSERT_FALSE(plain_text.empty());
+  EXPECT_EQ(plain_text, slurp(threaded.path));
+  EXPECT_EQ(plain_text, slurp(sharded.path));
+}
+
+TEST(Sidecar, ExploreJsonBytesIdenticalWithMetricsOn) {
+  TempFile plain("obs_explore_plain.json");
+  TempFile instrumented("obs_explore_instr.json");
+  TempFile metrics("obs_explore_metrics.json");
+  TempFile trace("obs_explore_trace.json");
+  const std::vector<std::string> base = {
+      "mpcn", "explore", "racy_register", "--in", "2,0,1",
+      "--policy", "pct", "--budget", "50", "--seed", "1"};
+
+  std::vector<std::string> argv = base;
+  argv.insert(argv.end(), {"--json", plain.path});
+  const int plain_code = run_cli(argv);
+
+  metrics_registry().reset();
+  argv = base;
+  argv.insert(argv.end(),
+              {"--json", instrumented.path, "--metrics", metrics.path,
+               "--trace", trace.path, "--progress"});
+  EXPECT_EQ(run_cli(argv), plain_code);
+
+  const std::string plain_text = slurp(plain.path);
+  ASSERT_FALSE(plain_text.empty());
+  EXPECT_EQ(plain_text, slurp(instrumented.path));
+
+  // The instrumented run actually counted its work...
+  const Json mdoc = Json::parse(slurp(metrics.path));
+  const MetricsSnapshot merged =
+      MetricsSnapshot::from_json(mdoc.at("merged"));
+  EXPECT_GE(merged.counters.at("explore.schedules"), 1u);
+  EXPECT_GE(merged.counters.at("explore.steps"), 1u);
+  // ...and traced its schedules.
+  const Json tdoc = Json::parse(slurp(trace.path));
+  bool saw_schedule_span = false;
+  for (const Json& e : tdoc.at("traceEvents").items()) {
+    if (e.at("name").as_string() == "explore.schedule") {
+      saw_schedule_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_schedule_span);
+  set_tracing_enabled(false);
+  reset_trace();
+}
+
+// The acceptance property: a sharded explore produces one pool-wide
+// snapshot whose counters equal process + sum of per-worker snapshots.
+TEST(Sidecar, ShardedMetricsMergeToTheSumOfTheirParts) {
+  TempFile report("obs_shard_report.json");
+  TempFile metrics("obs_shard_metrics.json");
+  metrics_registry().reset();
+  ASSERT_EQ(run_cli({"mpcn", "explore", "snapshot_churn", "--in", "2,0,1",
+                     "--policy", "random", "--budget", "6", "--seed", "3",
+                     "--shards", "2", "--fork-workers",
+                     "--json", report.path, "--metrics", metrics.path}),
+            0);
+
+  const Json doc = Json::parse(slurp(metrics.path));
+  const MetricsSnapshot process =
+      MetricsSnapshot::from_json(doc.at("process"));
+  const Json& workers = doc.at("workers");
+  ASSERT_EQ(workers.items().size(), 2u);  // both workers shipped one
+
+  // Recompute the merge independently, field-wise, and compare against
+  // the published pool-wide snapshot.
+  MetricsSnapshot expect = process;
+  std::uint64_t worker_cells = 0;
+  for (const Json& w : workers.items()) {
+    const MetricsSnapshot ws = MetricsSnapshot::from_json(w);
+    const auto it = ws.counters.find("worker.cells_served");
+    if (it != ws.counters.end()) worker_cells += it->second;
+    expect.merge(ws);
+  }
+  const MetricsSnapshot merged =
+      MetricsSnapshot::from_json(doc.at("merged"));
+  EXPECT_EQ(merged.to_json().dump(), expect.to_json().dump());
+
+  // The workers did the cell running, and the pool saw them do it.
+  EXPECT_GE(worker_cells, 1u);
+  EXPECT_EQ(merged.counters.at("worker.cells_served"), worker_cells);
+  EXPECT_GE(merged.counters.at("shard.cells_dispatched"), worker_cells);
+}
+
+}  // namespace
+}  // namespace mpcn

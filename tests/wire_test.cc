@@ -263,5 +263,74 @@ TEST(WorkerLoop, MaxCellsInjectsACrashBeforeReplying) {
             WireMessage::Type::kHello);
 }
 
+// ------------------------------------------------------------ telemetry
+
+TEST(WireTelemetry, MetricsLineRoundTrips) {
+  MetricsSnapshot snap;
+  snap.counters["explore.schedules"] = 42;
+  snap.counters["wait.parks"] = 7;
+  snap.gauges["shard.queue_depth"] = -3;
+  MetricsSnapshot::HistogramData h;
+  h.count = 2;
+  h.sum = 9;
+  h.buckets = {0, 1, 0, 1};
+  snap.histograms["shard.cell_latency_us"] = h;
+
+  const std::string line = metrics_line(snap);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // framing-safe
+  const WireMessage msg = parse_wire_line(line);
+  ASSERT_EQ(msg.type, WireMessage::Type::kMetrics);
+  ASSERT_TRUE(msg.snapshot.has_value());
+  EXPECT_EQ(msg.snapshot->to_json().dump(), snap.to_json().dump());
+}
+
+TEST(WireTelemetry, ShutdownMetricsFlagRoundTrips) {
+  EXPECT_FALSE(parse_wire_line(shutdown_line()).want_metrics);
+  EXPECT_FALSE(parse_wire_line(shutdown_line(false)).want_metrics);
+  EXPECT_TRUE(parse_wire_line(shutdown_line(true)).want_metrics);
+  // The telemetry extension must not change plain shutdown bytes: older
+  // tests (and mixed-version pools) rely on the original framing.
+  EXPECT_EQ(shutdown_line(false), shutdown_line());
+}
+
+TEST(WireTelemetry, WorkerShipsSnapshotOnRequest) {
+  Experiment e = Experiment::named("trivial_kset", ModelSpec{3, 1, 1});
+  e.direct().inputs({Value(0), Value(1), Value(2)});
+  const CellSpec spec = CellSpec::from_cell(e.cells().at(0));
+  StringLineIO io({cell_line(0, spec), shutdown_line(true)});
+  run_worker_loop(io);
+
+  // hello, result, metrics — exactly one extra line vs plain shutdown.
+  ASSERT_EQ(io.written().size(), 3u);
+  const WireMessage last = parse_wire_line(io.written()[2]);
+  ASSERT_EQ(last.type, WireMessage::Type::kMetrics);
+  ASSERT_TRUE(last.snapshot.has_value());
+  const auto it = last.snapshot->counters.find("worker.cells_served");
+  ASSERT_NE(it, last.snapshot->counters.end());
+  EXPECT_GE(it->second, 1u);
+}
+
+TEST(WireTelemetry, GarbageErrorsCarryAnExcerpt) {
+  try {
+    parse_wire_line("this is not json \x01");
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("this is not json"), std::string::npos) << what;
+    EXPECT_NE(what.find("\\x01"), std::string::npos) << what;  // escaped
+  }
+  // Long garbage is truncated but sized, so logs stay bounded while
+  // still saying how much junk arrived.
+  try {
+    parse_wire_line(std::string(500, 'a'));
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    const std::string what = e.what();
+    EXPECT_LT(what.size(), 400u) << what;
+    EXPECT_NE(what.find("..."), std::string::npos) << what;
+    EXPECT_NE(what.find("(500 bytes)"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace mpcn

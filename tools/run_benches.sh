@@ -95,4 +95,10 @@ else
       --json "$ROOT/BENCH_explore_throughput.json"
 fi
 
+# --- schema gate: a regeneration that drops a key (or a half-written
+# file from an interrupted run) must fail here, not corrupt the committed
+# trajectory silently.
+echo "== validate_benches.py"
+python3 "$ROOT/tools/validate_benches.py" "$ROOT"
+
 echo "wrote $(ls "$ROOT"/BENCH_*.json | xargs -n1 basename | tr '\n' ' ')"
