@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +23,7 @@
 #include "src/experiment/registry.h"
 #include "src/explore/explorer.h"
 #include "src/history/history.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/spans.h"
 
@@ -39,7 +43,13 @@ const char kUsage[] =
     "                               violation, 3 when the race oracle\n"
     "                               fires, 4 when every violation needed\n"
     "                               an injected crash)\n"
-    "  worker [--max-cells N]       JSON-lines worker on stdin/stdout\n"
+    "  worker                       JSON-lines worker on stdin/stdout\n"
+    "                               (faults: --max-cells N exits with a\n"
+    "                               cell in flight, --stop-after N\n"
+    "                               freezes via SIGSTOP between cells)\n"
+    "  events <log.jsonl> [--json]  summarize an --events flight-recorder\n"
+    "                               log: per-worker lifelines, requeue\n"
+    "                               chains, violation timeline\n"
     "  diff <a.json> <b.json>       compare two reports (exit 1 on\n"
     "                               regressions: steps, verdicts, races,\n"
     "                               crash violations)\n"
@@ -74,8 +84,25 @@ const char kUsage[] =
     "                    per-worker + merged counters; sidecar-only,\n"
     "                    report bytes unchanged)\n"
     "  --trace PATH      record scoped spans and write Chrome\n"
-    "                    trace-event JSON (loads in Perfetto)\n"
+    "                    trace-event JSON (loads in Perfetto); sharded\n"
+    "                    runs harvest worker span rings at shutdown and\n"
+    "                    write one merged multi-process document\n"
+    "  --events PATH     append-only JSONL flight recorder: worker\n"
+    "                    spawn/death/respawn/backoff, cell dispatch/\n"
+    "                    requeue, heartbeat gaps, violations, shrinks\n"
+    "                    (summarize with `mpcn events PATH`)\n"
+    "  --telemetry-ms N  sharded: stream worker telemetry (metrics delta\n"
+    "                    + heartbeat seq) every N ms and after each cell\n"
+    "  --stale-ms MS     sharded: write off and respawn a worker not\n"
+    "                    heard from for MS ms, busy OR idle (catches\n"
+    "                    between-cells freezes the per-cell watchdog\n"
+    "                    cannot see); needs --telemetry-ms\n"
+    "  --health PATH     sharded: write the per-slot worker health table\n"
+    "                    JSON (heartbeats, cells served, write-offs,\n"
+    "                    folded telemetry)\n"
     "  --progress        stderr heartbeat: cells done, rate, ETA\n"
+    "                    (suppressed when stderr is not a TTY unless\n"
+    "                    MPCN_PROGRESS=1; interval via MPCN_PROGRESS_MS)\n"
     "\n"
     "explore flags (plus --in/--source/--mode/--mem/--steps/--wall/\n"
     "--inputs/--shards/--fork-workers as for run):\n"
@@ -113,7 +140,13 @@ const char kUsage[] =
     "                    per-worker + merged counters; sidecar-only,\n"
     "                    report bytes unchanged)\n"
     "  --trace PATH      record scoped spans and write Chrome\n"
-    "                    trace-event JSON (loads in Perfetto)\n"
+    "                    trace-event JSON (loads in Perfetto; merged\n"
+    "                    multi-process document with --shards)\n"
+    "  --events PATH     JSONL flight recorder, as for run (also logs\n"
+    "                    violation/race/shrink events)\n"
+    "  --telemetry-ms N  as for run\n"
+    "  --stale-ms MS     as for run\n"
+    "  --health PATH     as for run\n"
     "  --progress        stderr heartbeat: schedules done, rate, ETA\n";
 
 Report load_report(const std::string& path) {
@@ -163,10 +196,13 @@ int cmd_list(int argc, char** argv) {
 }
 
 int cmd_worker(int argc, char** argv) {
-  Args args(argc, argv, 2, {"max-cells"}, {});
+  Args args(argc, argv, 2, {"max-cells", "stop-after"}, {});
   WorkerOptions options;
   if (const auto v = args.value("max-cells")) {
     options.max_cells = static_cast<int>(parse_u64(*v));
+  }
+  if (const auto v = args.value("stop-after")) {
+    options.stop_after_cells = static_cast<int>(parse_u64(*v));
   }
   FdLineIO io(STDIN_FILENO, STDOUT_FILENO);
   run_worker_loop(io, options);
@@ -204,11 +240,90 @@ void write_metrics_file(const std::string& path,
   write_json_file(path, doc);
 }
 
+// Streaming-telemetry knobs shared by run and explore (BatchOptions and
+// ExploreOptions carry identically-named fields). Also reads
+// MPCN_WORKER_STOP_AFTER ("2" or "2,0,0": slot i raises SIGSTOP after
+// replying to list[i] cells) — the hook CI uses to inject a
+// between-cells freeze into a real sharded CLI run and watch the
+// heartbeat-staleness write-off fire.
+template <typename Options>
+void apply_streaming_flags(const Args& args, Options& opts) {
+  if (const auto v = args.value("telemetry-ms")) {
+    opts.telemetry_interval = std::chrono::milliseconds(parse_u64(*v));
+  }
+  if (const auto v = args.value("stale-ms")) {
+    if (opts.telemetry_interval.count() <= 0) {
+      throw ProtocolError("--stale-ms needs --telemetry-ms (an unarmed "
+                          "worker is rightfully silent between cells)");
+    }
+    opts.heartbeat_stale_after = std::chrono::milliseconds(parse_u64(*v));
+  }
+  if (const char* env = std::getenv("MPCN_WORKER_STOP_AFTER")) {
+    for (const std::string& tok : split(env, ',')) {
+      opts.worker_stop_after.push_back(static_cast<int>(parse_u64(tok)));
+    }
+  }
+}
+
+// --events: the flight recorder opens BEFORE the run so spawn events
+// land, and closes after the sidecar files are written.
+void open_events_flag(const Args& args) {
+  if (const auto path = args.value("events")) {
+    if (!open_event_log(*path)) {
+      throw ProtocolError("cannot open '" + *path + "' for --events");
+    }
+  }
+}
+
+// The --health document: one entry per worker slot, straight off the
+// coordinator's WorkerHealth table. Sharded runs only (in-process runs
+// write an empty array — there are no worker slots to report on).
+void write_health_file(const std::string& path,
+                       const std::vector<WorkerHealth>& health) {
+  Json arr = Json::array();
+  for (const WorkerHealth& h : health) {
+    Json j = Json::object();
+    j.set("slot", h.slot)
+        .set("heartbeats", h.heartbeats)
+        .set("last_seq", h.last_seq)
+        .set("cells_served", h.cells_served)
+        .set("last_heard_age_ms", h.last_heard_age_ms)
+        .set("respawns", h.respawns)
+        .set("written_off", h.written_off)
+        .set("write_off_reason", h.write_off_reason)
+        .set("telemetry", h.telemetry.to_json());
+    arr.push(std::move(j));
+  }
+  write_json_file(path, arr);
+}
+
+// --trace: single-process runs dump the local span ring as before;
+// sharded runs merge the coordinator's ring (pid 1) with every harvested
+// worker ring (pid = slot + 2) into one Perfetto-loadable document.
+void write_trace_file(const std::string& path,
+                      const std::vector<ProcessTrace>& workers,
+                      bool sharded) {
+  if (!sharded) {
+    write_json_file(path, dump_trace_json());
+    return;
+  }
+  std::vector<ProcessTrace> procs;
+  procs.reserve(workers.size() + 1);
+  ProcessTrace coord;
+  coord.pid = 1;
+  coord.name = "coordinator";
+  coord.doc = dump_trace_json();
+  procs.push_back(std::move(coord));
+  for (const ProcessTrace& w : workers) procs.push_back(w);
+  write_json_file(path, merge_trace_docs(procs));
+}
+
 int cmd_run(int argc, char** argv) {
   Args args(argc, argv, 2,
             {"in", "source", "mode", "seeds", "mem", "wait", "scheduler",
              "steps", "wall", "crash-p", "crash-max", "inputs", "shards",
-             "threads", "json", "title", "metrics", "trace"},
+             "threads", "json", "title", "metrics", "trace", "events",
+             "telemetry-ms", "stale-ms", "health"},
             {"no-timing", "fork-workers", "progress"});
   if (args.positional().size() != 1) {
     throw ProtocolError("run needs exactly one scenario name (see `mpcn "
@@ -311,11 +426,19 @@ int cmd_run(int argc, char** argv) {
     batch.worker_argv = {self_exe_path(argv[0]), "worker"};
   }
   batch.progress = args.has("progress");
+  apply_streaming_flags(args, batch);
+  open_events_flag(args);
   std::vector<MetricsSnapshot> worker_snaps;
   if (args.has("metrics") && batch.shards > 0) {
     batch.worker_metrics = &worker_snaps;
   }
-  if (args.has("trace")) set_tracing_enabled(true);
+  std::vector<ProcessTrace> worker_traces;
+  std::vector<WorkerHealth> health;
+  if (args.has("trace")) {
+    set_tracing_enabled(true);
+    if (batch.shards > 0) batch.worker_traces = &worker_traces;
+  }
+  if (args.has("health") && batch.shards > 0) batch.health = &health;
 
   const Report report = e.run_all(batch);
 
@@ -323,8 +446,12 @@ int cmd_run(int argc, char** argv) {
     write_metrics_file(*path, worker_snaps);
   }
   if (const auto path = args.value("trace")) {
-    write_json_file(*path, dump_trace_json());
+    write_trace_file(*path, worker_traces, batch.shards > 0);
   }
+  if (const auto path = args.value("health")) {
+    write_health_file(*path, health);
+  }
+  close_event_log();
 
   const bool include_timing = !args.has("no-timing");
   const std::string json_path = args.value_or("json", "");
@@ -367,7 +494,8 @@ int cmd_explore(int argc, char** argv) {
              "policy", "budget", "seed", "max-violations", "pct-depth",
              "horizon", "bound", "crash-budget", "crash-rate",
              "shrink-budget", "record", "replay",
-             "json", "shards", "threads", "metrics", "trace"},
+             "json", "shards", "threads", "metrics", "trace", "events",
+             "telemetry-ms", "stale-ms", "health"},
             {"check-lin", "check-races", "no-shrink", "fork-workers",
              "progress"});
   if (args.positional().size() != 1) {
@@ -530,11 +658,19 @@ int cmd_explore(int argc, char** argv) {
     opts.worker_argv = {self_exe_path(argv[0]), "worker"};
   }
   opts.progress = args.has("progress");
+  apply_streaming_flags(args, opts);
+  open_events_flag(args);
   std::vector<MetricsSnapshot> worker_snaps;
   if (args.has("metrics") && opts.shards > 0) {
     opts.worker_metrics = &worker_snaps;
   }
-  if (args.has("trace")) set_tracing_enabled(true);
+  std::vector<ProcessTrace> worker_traces;
+  std::vector<WorkerHealth> health;
+  if (args.has("trace")) {
+    set_tracing_enabled(true);
+    if (opts.shards > 0) opts.worker_traces = &worker_traces;
+  }
+  if (args.has("health") && opts.shards > 0) opts.health = &health;
 
   const ExploreResult result = explore(cell, opts);
 
@@ -542,8 +678,12 @@ int cmd_explore(int argc, char** argv) {
     write_metrics_file(*path, worker_snaps);
   }
   if (const auto path = args.value("trace")) {
-    write_json_file(*path, dump_trace_json());
+    write_trace_file(*path, worker_traces, opts.shards > 0);
   }
+  if (const auto path = args.value("health")) {
+    write_health_file(*path, health);
+  }
+  close_event_log();
   if (const auto path = args.value("record")) {
     write_json_file(*path, result.first_trace.to_json());
   }
@@ -561,6 +701,203 @@ int cmd_explore(int argc, char** argv) {
   // Every violation needed the fault adversary: schedule-only search at
   // the same budget would have stayed clean — a distinct outcome.
   return result.crash_only() ? 4 : 1;
+}
+
+// `mpcn events LOG`: summarize a --events flight-recorder log.
+//
+// The log is append-only JSONL written by one process (coordinator +
+// explorer) with a monotonic shared clock, so a single sequential pass
+// reconstructs everything: per-worker lifelines (spawn → death →
+// respawn chains, with reasons), per-cell requeue chains, and the
+// violation/shrink timeline. Malformed lines are counted, not fatal —
+// a crashed run's torn last line must not make its log unreadable.
+int cmd_events(int argc, char** argv) {
+  Args args(argc, argv, 2, {}, {"json"});
+  if (args.positional().size() != 1) {
+    throw ProtocolError(
+        "events needs exactly one log file (written by --events)");
+  }
+  std::ifstream in(args.positional()[0]);
+  if (!in) {
+    throw ProtocolError("cannot open '" + args.positional()[0] + "'");
+  }
+
+  struct SlotInfo {
+    std::vector<std::string> lifeline;
+    std::int64_t dispatched = 0;
+    std::int64_t requeued = 0;
+    std::int64_t gaps = 0;
+  };
+  std::map<std::int64_t, SlotInfo> slots;
+  std::map<std::int64_t, std::vector<std::string>> cell_chains;
+  std::vector<std::string> timeline;
+  std::map<std::string, std::int64_t> counts;
+  std::int64_t total = 0, malformed = 0;
+  std::int64_t t0 = -1, t_last = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = Json::parse(line);
+      if (!j.is_object()) throw JsonError("not an object");
+    } catch (const JsonError&) {
+      ++malformed;
+      continue;
+    }
+    const Json* tsf = j.find("ts_us");
+    const Json* typef = j.find("type");
+    if (tsf == nullptr || !tsf->is_int() || typef == nullptr ||
+        !typef->is_string()) {
+      ++malformed;
+      continue;
+    }
+    ++total;
+    const std::int64_t ts = tsf->as_int();
+    const std::string& type = typef->as_string();
+    if (t0 < 0) t0 = ts;
+    t_last = ts;
+    ++counts[type];
+    const std::int64_t at_ms = (ts - t0) / 1000;
+    auto num = [&j](const char* key) -> std::int64_t {
+      const Json* f = j.find(key);
+      return (f != nullptr && f->is_int()) ? f->as_int() : -1;
+    };
+    auto str = [&j](const char* key) -> std::string {
+      const Json* f = j.find(key);
+      return (f != nullptr && f->is_string()) ? f->as_string() : "";
+    };
+    auto stamp = [at_ms](std::string s) {
+      return s + " @" + std::to_string(at_ms) + "ms";
+    };
+
+    if (type == "worker_spawn") {
+      slots[num("slot")].lifeline.push_back(
+          stamp("spawn pid=" + std::to_string(num("pid"))));
+    } else if (type == "worker_death") {
+      slots[num("slot")].lifeline.push_back(
+          stamp("death (" + str("reason") + ")"));
+    } else if (type == "worker_respawn") {
+      slots[num("slot")].lifeline.push_back(
+          stamp("respawn pid=" + std::to_string(num("pid")) + " attempt=" +
+                std::to_string(num("attempt"))));
+    } else if (type == "worker_backoff") {
+      slots[num("slot")].lifeline.push_back(
+          stamp("backoff " + std::to_string(num("delay_ms")) + "ms"));
+    } else if (type == "worker_shutdown") {
+      slots[num("slot")].lifeline.push_back(
+          stamp("shutdown cells_served=" +
+                std::to_string(num("cells_served"))));
+    } else if (type == "heartbeat_gap") {
+      SlotInfo& s = slots[num("slot")];
+      ++s.gaps;
+      s.lifeline.push_back(
+          stamp("heartbeat gap " + std::to_string(num("age_ms")) + "ms"));
+    } else if (type == "cell_dispatch") {
+      ++slots[num("slot")].dispatched;
+      cell_chains[num("cell_index")].push_back(
+          stamp("slot " + std::to_string(num("slot"))));
+    } else if (type == "cell_requeue") {
+      ++slots[num("slot")].requeued;
+      cell_chains[num("cell_index")].push_back(
+          stamp("requeued from slot " + std::to_string(num("slot"))));
+    } else if (type == "violation_found" || type == "race_found" ||
+               type == "crash_violation_found") {
+      std::string entry = type + " schedule=" + std::to_string(
+                              num("schedule"));
+      const std::string why = str("why");
+      if (!why.empty()) entry += " (" + why + ")";
+      timeline.push_back(stamp(std::move(entry)));
+    } else if (type == "shrink_begin") {
+      timeline.push_back(stamp(
+          "shrink_begin schedule=" + std::to_string(num("schedule")) +
+          " trace_len=" + std::to_string(num("trace_len"))));
+    } else if (type == "shrink_end") {
+      timeline.push_back(stamp(
+          "shrink_end schedule=" + std::to_string(num("schedule")) +
+          " shrunk_len=" + std::to_string(num("shrunk_len")) + " replays=" +
+          std::to_string(num("replays")) +
+          (num("verified") == 1 ? " verified" : " UNVERIFIED")));
+    }
+    // Unknown types count toward `counts` but render nowhere: the log
+    // schema may grow and old binaries must still summarize new logs.
+  }
+
+  const std::int64_t span_ms = t0 < 0 ? 0 : (t_last - t0) / 1000;
+
+  if (args.has("json")) {
+    Json doc = Json::object();
+    doc.set("events", total).set("malformed", malformed).set("span_ms",
+                                                             span_ms);
+    Json jcounts = Json::object();
+    for (const auto& [type, n] : counts) jcounts.set(type, n);
+    doc.set("counts", std::move(jcounts));
+    Json jworkers = Json::array();
+    for (const auto& [slot, info] : slots) {
+      Json w = Json::object();
+      w.set("slot", slot)
+          .set("dispatched", info.dispatched)
+          .set("requeued", info.requeued)
+          .set("heartbeat_gaps", info.gaps);
+      Json life = Json::array();
+      for (const std::string& entry : info.lifeline) life.push(entry);
+      w.set("lifeline", std::move(life));
+      jworkers.push(std::move(w));
+    }
+    doc.set("workers", std::move(jworkers));
+    Json jchains = Json::object();
+    for (const auto& [cell, chain] : cell_chains) {
+      if (chain.size() < 2) continue;  // dispatched once, never requeued
+      Json arr = Json::array();
+      for (const std::string& entry : chain) arr.push(entry);
+      jchains.set(std::to_string(cell), std::move(arr));
+    }
+    doc.set("requeue_chains", std::move(jchains));
+    Json jtimeline = Json::array();
+    for (const std::string& entry : timeline) jtimeline.push(entry);
+    doc.set("timeline", std::move(jtimeline));
+    std::printf("%s\n", doc.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("events: %lld record(s), %lld malformed, span %lld ms\n",
+              static_cast<long long>(total),
+              static_cast<long long>(malformed),
+              static_cast<long long>(span_ms));
+  for (const auto& [slot, info] : slots) {
+    std::printf("worker %lld: %lld dispatched, %lld requeued, %lld "
+                "heartbeat gap(s)\n",
+                static_cast<long long>(slot),
+                static_cast<long long>(info.dispatched),
+                static_cast<long long>(info.requeued),
+                static_cast<long long>(info.gaps));
+    for (const std::string& entry : info.lifeline) {
+      std::printf("  %s\n", entry.c_str());
+    }
+  }
+  bool any_chain = false;
+  for (const auto& [cell, chain] : cell_chains) {
+    if (chain.size() < 2) continue;
+    if (!any_chain) {
+      std::printf("requeue chains:\n");
+      any_chain = true;
+    }
+    std::string joined;
+    for (const std::string& entry : chain) {
+      if (!joined.empty()) joined += " -> ";
+      joined += entry;
+    }
+    std::printf("  cell %lld: %s\n", static_cast<long long>(cell),
+                joined.c_str());
+  }
+  if (!timeline.empty()) {
+    std::printf("violation timeline:\n");
+    for (const std::string& entry : timeline) {
+      std::printf("  %s\n", entry.c_str());
+    }
+  }
+  return 0;
 }
 
 int cmd_diff(int argc, char** argv) {
@@ -605,6 +942,7 @@ int cli_main(int argc, char** argv) {
     if (command == "run") return cmd_run(argc, argv);
     if (command == "explore") return cmd_explore(argc, argv);
     if (command == "worker") return cmd_worker(argc, argv);
+    if (command == "events") return cmd_events(argc, argv);
     if (command == "diff") return cmd_diff(argc, argv);
     if (command == "help" || command == "--help" || command == "-h") {
       std::printf("%s", kUsage);

@@ -9,13 +9,17 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "src/common/errors.h"
 #include "src/experiment/batch_runner.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/spans.h"
 
@@ -54,6 +58,18 @@ Counter& m_fallback_cells() {
   static Counter& c = metrics_registry().counter("shard.fallback_cells");
   return c;
 }
+Counter& m_heartbeats() {
+  static Counter& c = metrics_registry().counter("shard.heartbeats");
+  return c;
+}
+Counter& m_stale_writeoffs() {
+  static Counter& c = metrics_registry().counter("shard.stale_writeoffs");
+  return c;
+}
+Counter& m_snapshot_timeouts() {
+  static Counter& c = metrics_registry().counter("shard.snapshot_timeouts");
+  return c;
+}
 Gauge& m_queue_depth() {
   static Gauge& g = metrics_registry().gauge("shard.queue_depth");
   return g;
@@ -71,13 +87,120 @@ Counter& m_worker_garbage_lines() {
   return c;
 }
 
+// The worker-side heartbeat streamer: once armed by a telemetry config
+// line, a background thread beats every interval, and the worker loop
+// beats after every cell reply. A beat snapshots the registry, diffs it
+// against the previous beat (delta_since) and ships one telemetry line;
+// beats from the thread and the loop share the seq/prev state under
+// `state_mu_` and the transport under the caller's write mutex, so
+// lines never interleave and seq/delta stay consistent.
+class TelemetryStreamer {
+ public:
+  TelemetryStreamer(LineIO& io, std::mutex& write_mu)
+      : io_(io), write_mu_(write_mu) {}
+  ~TelemetryStreamer() { stop(); }
+
+  // Arm (or re-arm) the heartbeat and send an immediate beat — so every
+  // armed worker produces at least one telemetry line even if it never
+  // receives a cell. interval_ms <= 0 arms after-cell beats only.
+  void arm(std::int64_t interval_ms) {
+    {
+      std::lock_guard<std::mutex> lock(cv_mu_);
+      armed_ = true;
+      interval_ = std::chrono::milliseconds(interval_ms);
+    }
+    beat();
+    if (interval_ms > 0 && !thread_.joinable()) {
+      thread_ = std::thread([this] { loop(); });
+    }
+    cv_.notify_all();
+  }
+
+  // Beat once, now (no-op until armed).
+  void beat() {
+    std::lock_guard<std::mutex> state(state_mu_);
+    const std::string line = compose_beat_locked();
+    if (line.empty()) return;
+    std::lock_guard<std::mutex> write(write_mu_);
+    io_.write_line(line);
+  }
+
+  // Write a cell reply and, when armed, its after-cell heartbeat in one
+  // coalesced write: one syscall, one coordinator wakeup — the beat
+  // rides the reply instead of doubling the wire traffic per cell.
+  bool reply_and_beat(const std::string& reply) {
+    std::lock_guard<std::mutex> state(state_mu_);
+    const std::string beat = compose_beat_locked();
+    std::lock_guard<std::mutex> write(write_mu_);
+    if (beat.empty()) return io_.write_line(reply);
+    return io_.write_lines(reply, beat);
+  }
+
+  // Disarm and join the thread; no beats after this returns. Called
+  // before a shutdown reply (the final metrics line must be the last
+  // word) and before an injected SIGSTOP (the silence must be total).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(cv_mu_);
+      stop_ = true;
+      armed_ = false;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  // Under state_mu_ (held through the write so heartbeat seq order on
+  // the wire matches seq assignment). Empty string when unarmed.
+  std::string compose_beat_locked() {
+    {
+      std::lock_guard<std::mutex> lock(cv_mu_);
+      if (!armed_) return std::string();
+    }
+    metrics_registry().delta_json(prev_, delta_buf_);
+    return telemetry_line(seq_++, static_cast<std::int64_t>(trace_now_us()),
+                          delta_buf_);
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lk(cv_mu_);
+    while (!cv_.wait_for(lk, interval_, [this] { return stop_; })) {
+      lk.unlock();
+      beat();
+      lk.lock();
+    }
+  }
+
+  LineIO& io_;
+  std::mutex& write_mu_;
+  std::mutex state_mu_;  // seq_ + prev_ + delta_buf_ (beat serialization)
+  MetricsSnapshot prev_;       // updated in place by delta_json
+  std::string delta_buf_;      // reused per beat; capacity amortizes
+  std::int64_t seq_ = 0;
+  std::mutex cv_mu_;  // armed_/interval_/stop_ + the wait
+  std::condition_variable cv_;
+  bool armed_ = false;
+  bool stop_ = false;
+  std::chrono::milliseconds interval_{0};
+  std::thread thread_;
+};
+
 }  // namespace
 
 // --------------------------------------------------------------- worker
 
 void run_worker_loop(LineIO& io, const WorkerOptions& options) {
-  if (!io.write_line(hello_line())) return;
+  // One mutex serializes every write: results and error lines from this
+  // thread, heartbeats from the streamer thread.
+  std::mutex write_mu;
+  auto send = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    return io.write_line(line);
+  };
+  TelemetryStreamer streamer(io, write_mu);
+  if (!send(hello_line())) return;
   int cells_received = 0;
+  int cells_replied = 0;
   std::string line;
   while (io.read_line(line)) {
     WireMessage msg;
@@ -87,19 +210,30 @@ void run_worker_loop(LineIO& io, const WorkerOptions& options) {
       // Bad framing is the sender's bug; answer with a diagnostic and
       // keep serving — one garbage line must not take the worker down.
       m_worker_garbage_lines().add();
-      if (!io.write_line(error_line(e.what()))) return;
+      if (!send(error_line(e.what()))) return;
       continue;
     }
     switch (msg.type) {
       case WireMessage::Type::kShutdown:
-        // The opt-in telemetry exchange: ship one snapshot of this
-        // process's counters back before exiting. A plain shutdown gets
-        // no reply (pre-telemetry coordinators and tests see identical
-        // bytes).
+        // Quiesce the heartbeat first: the shutdown replies must be the
+        // final lines on the wire. Then the opt-in telemetry exchange —
+        // one snapshot of this process's counters, one span-ring dump.
+        // A plain shutdown gets no reply (pre-telemetry coordinators
+        // and tests see identical bytes).
+        streamer.stop();
         if (msg.want_metrics) {
-          io.write_line(metrics_line(metrics_registry().snapshot()));
+          send(metrics_line(metrics_registry().snapshot()));
+        }
+        if (msg.want_trace) {
+          send(trace_line(dump_trace_json()));
         }
         return;
+      case WireMessage::Type::kTelemetry:
+        // Config from the coordinator: turn span recording on (exec-mode
+        // workers start with tracing off) and arm the heartbeat.
+        if (msg.want_trace) set_tracing_enabled(true);
+        streamer.arm(msg.telemetry_interval_ms);
+        break;
       case WireMessage::Type::kCell: {
         ++cells_received;
         if (options.max_cells > 0 && cells_received >= options.max_cells) {
@@ -108,7 +242,7 @@ void run_worker_loop(LineIO& io, const WorkerOptions& options) {
         const CellSpec& spec = *msg.spec;
         RunRecord rec;
         {
-          ScopedSpan span("worker.cell", "shard");
+          ScopedSpan span("worker.cell", "shard", spec.cell_index);
           try {
             rec = run_cell(spec.to_cell());
           } catch (const std::exception& e) {
@@ -118,13 +252,28 @@ void run_worker_loop(LineIO& io, const WorkerOptions& options) {
           }
         }
         m_worker_cells_served().add();
-        if (!io.write_line(result_line(msg.id, rec))) return;
+        // Reply + after-cell heartbeat in one write (beat is a no-op
+        // until armed, so this is just the reply on plain runs).
+        if (!streamer.reply_and_beat(result_line(msg.id, rec))) return;
+        ++cells_replied;
+        if (options.stop_after_cells > 0 &&
+            cells_replied >= options.stop_after_cells) {
+          // Injected freeze BETWEEN cells: quiesce the streamer so the
+          // last wire bytes are whole lines, then stop the whole
+          // process. Only heartbeat staleness can notice this — there
+          // is no cell outstanding for the watchdog to time out. A
+          // SIGCONT would resume the loop (heartbeats stay off); the
+          // coordinator's write-off SIGKILL ends it for good.
+          streamer.stop();
+          ::raise(SIGSTOP);
+        }
         break;
       }
       case WireMessage::Type::kHello:
       case WireMessage::Type::kResult:
       case WireMessage::Type::kError:
       case WireMessage::Type::kMetrics:
+      case WireMessage::Type::kTrace:
         break;  // tolerated, meaningless towards a worker
     }
   }
@@ -142,6 +291,15 @@ struct WorkerProc {
   bool busy = false;
   std::size_t outstanding = 0;  // cell id, valid when busy
   std::chrono::steady_clock::time_point sent_at{};
+  // Health layer: the last sign of life — any bytes received, or the
+  // spawn itself. Staleness is measured against this, so a worker
+  // streaming heartbeats (or results) is never stale.
+  std::chrono::steady_clock::time_point last_heard{};
+  // Trace-merge clock alignment: added to every worker span timestamp.
+  // 0 for forked workers (they inherit the coordinator's trace_now_us
+  // origin); the coordinator's clock at spawn for exec'd workers (their
+  // origin is their own start).
+  std::int64_t clock_offset_us = 0;
   // Churn hardening: respawn attempts this slot has consumed, and the
   // scheduled relaunch (valid while respawn_pending).
   int respawns = 0;
@@ -201,6 +359,15 @@ WorkerProc spawn_worker(const ShardOptions& options, int index,
       index < static_cast<int>(options.worker_max_cells.size())
           ? options.worker_max_cells[static_cast<std::size_t>(index)]
           : 0;
+  const int stop_after =
+      index < static_cast<int>(options.worker_stop_after.size())
+          ? options.worker_stop_after[static_cast<std::size_t>(index)]
+          : 0;
+  // Pin the trace origin BEFORE forking: children inherit t0, so forked
+  // workers' span clocks share the coordinator's origin (offset 0);
+  // exec'd workers restart their clock and get this instant as offset.
+  const std::int64_t spawn_clock =
+      static_cast<std::int64_t>(trace_now_us());
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(sv[0]);
@@ -220,6 +387,10 @@ WorkerProc spawn_worker(const ShardOptions& options, int index,
         args.push_back("--max-cells");
         args.push_back(std::to_string(quota));
       }
+      if (stop_after > 0) {
+        args.push_back("--stop-after");
+        args.push_back(std::to_string(stop_after));
+      }
       std::vector<char*> argv;
       argv.reserve(args.size() + 1);
       for (std::string& a : args) argv.push_back(a.data());
@@ -229,13 +400,18 @@ WorkerProc spawn_worker(const ShardOptions& options, int index,
     }
     // Fork mode: serve straight from the forked image. _exit (not exit)
     // so the child never runs the parent's atexit/stream flushing.
-    // Zero the inherited metrics first — a forked child carries the
-    // coordinator's counter values, and a worker snapshot must report
-    // only its own work or pool-wide sums double-count.
+    // Zero the inherited telemetry first — a forked child carries the
+    // coordinator's counter values and span rings, and a worker
+    // snapshot/trace must report only its own work or pool-wide views
+    // double-count. The child also detaches from the coordinator's
+    // event log so it never appends to the parent's file.
     metrics_registry().reset();
+    reset_trace();
+    close_event_log();
     FdLineIO io(sv[1], sv[1]);
     WorkerOptions wo;
     wo.max_cells = quota;
+    wo.stop_after_cells = stop_after;
     run_worker_loop(io, wo);
     ::_exit(0);
   }
@@ -244,6 +420,8 @@ WorkerProc spawn_worker(const ShardOptions& options, int index,
   w.pid = pid;
   w.fd = sv[0];
   w.alive = true;
+  w.last_heard = std::chrono::steady_clock::now();
+  w.clock_offset_us = options.worker_argv.empty() ? 0 : spawn_clock;
   return w;
 }
 
@@ -325,10 +503,98 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
   std::size_t done = 0;
   Report arrivals;  // records in arrival order; merged into grid order
 
+  // The live per-slot health table, fed by heartbeats and results.
+  // Slots persist across respawns; copied out to options.health at
+  // return.
+  std::vector<WorkerHealth> health(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    health[i].slot = static_cast<int>(i);
+  }
+  const bool want_worker_traces = options.worker_traces != nullptr;
+  const bool stream_telemetry = options.telemetry_interval.count() > 0;
+  const bool stale_enabled =
+      stream_telemetry && options.heartbeat_stale_after.count() > 0;
+  const auto slot_of = [&](const WorkerProc& w) {
+    return static_cast<std::size_t>(&w - workers.data());
+  };
+  const auto age_ms = [](std::chrono::steady_clock::time_point now,
+                         std::chrono::steady_clock::time_point then) {
+    return static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
+            .count());
+  };
+
+  // Arm a worker's streaming telemetry and/or span recording. Nothing
+  // is sent when neither is wanted, so a telemetry-off pool exchanges
+  // exactly the pre-telemetry bytes.
+  auto arm_telemetry = [&](WorkerProc& w) {
+    if (!stream_telemetry && !want_worker_traces) return true;
+    return send_line(
+        w.fd,
+        telemetry_request_line(options.telemetry_interval.count(),
+                               want_worker_traces));
+  };
+
+  // Best-effort span salvage for a worker about to be written off: ask
+  // for its rings with a short deadline. A frozen or hung worker just
+  // times out; a protocol-violating (but responsive) one delivers.
+  auto salvage_trace = [&](WorkerProc& w) {
+    if (!send_line(w.fd, shutdown_line(false, true))) return;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    for (;;) {
+      std::size_t nl;
+      while ((nl = w.inbuf.find('\n')) != std::string::npos) {
+        const std::string line = w.inbuf.substr(0, nl);
+        w.inbuf.erase(0, nl + 1);
+        try {
+          WireMessage msg = parse_wire_line(line);
+          if (msg.type == WireMessage::Type::kTrace && msg.trace_doc) {
+            ProcessTrace pt;
+            pt.pid = static_cast<int>(slot_of(w)) + 2;
+            pt.name = "worker " + std::to_string(slot_of(w));
+            pt.ts_offset_us = w.clock_offset_us;
+            pt.doc = std::move(*msg.trace_doc);
+            options.worker_traces->push_back(std::move(pt));
+            return;
+          }
+        } catch (const WireError&) {
+          m_garbage_lines().add();
+        }
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return;
+      pollfd pfd{w.fd, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count() +
+          1);
+      if (::poll(&pfd, 1, timeout_ms) <= 0) return;
+      char chunk[4096];
+      const ssize_t n = ::recv(w.fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      w.inbuf.append(chunk, static_cast<std::size_t>(n));
+    }
+  };
+
   auto write_off = [&](WorkerProc& w, const char* why) {
     if (!w.alive) return;
+    const std::size_t slot = slot_of(w);
+    if (want_worker_traces) salvage_trace(w);
     w.alive = false;
     m_workers_written_off().add();
+    {
+      WorkerHealth& h = health[slot];
+      h.written_off = true;
+      h.write_off_reason = why;
+      h.last_heard_age_ms =
+          age_ms(std::chrono::steady_clock::now(), w.last_heard);
+    }
+    log_event("worker_death", Json::object()
+                                  .set("slot", static_cast<std::int64_t>(slot))
+                                  .set("reason", why));
     close_fd(w.fd);
     if (w.pid > 0) {
       ::kill(w.pid, SIGKILL);
@@ -342,19 +608,38 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         pending.push_front(w.outstanding);
         m_cells_requeued().add();
         m_queue_depth().set(static_cast<std::int64_t>(pending.size()));
+        log_event("cell_requeue",
+                  Json::object()
+                      .set("cell_index",
+                           static_cast<std::int64_t>(w.outstanding))
+                      .set("slot", static_cast<std::int64_t>(slot)));
       }
     }
     // Schedule the slot's relaunch while respawn budget remains; the
     // backoff doubles with every attempt already spent.
     if (w.respawns < options.max_respawns) {
+      const auto delay = respawn_delay(options, w.respawns);
       w.respawn_pending = true;
-      w.respawn_at = std::chrono::steady_clock::now() +
-                     respawn_delay(options, w.respawns);
+      w.respawn_at = std::chrono::steady_clock::now() + delay;
       m_backoff_waits().add();
+      log_event("worker_backoff",
+                Json::object()
+                    .set("slot", static_cast<std::int64_t>(slot))
+                    .set("delay_ms",
+                         static_cast<std::int64_t>(delay.count())));
     }
     std::fprintf(stderr, "[shard] worker written off (%s); requeueing\n",
                  why);
   };
+
+  // Arm the initial pool (and record its birth in the flight recorder).
+  for (WorkerProc& w : workers) {
+    log_event("worker_spawn",
+              Json::object()
+                  .set("slot", static_cast<std::int64_t>(slot_of(w)))
+                  .set("pid", static_cast<std::int64_t>(w.pid)));
+    if (!arm_telemetry(w)) write_off(w, "write failed");
+  }
 
   // Progress heartbeat (stderr, opt-in): printed on result arrivals,
   // throttled so cheap cells do not flood the terminal.
@@ -407,6 +692,7 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         }
         const std::size_t id = w.outstanding;
         w.busy = false;
+        ++health[slot_of(w)].cells_served;
         const auto now = std::chrono::steady_clock::now();
         const auto latency_us =
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -419,7 +705,8 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
           const auto dur = static_cast<std::uint64_t>(
               std::max<std::int64_t>(latency_us, 0));
           record_span("shard.cell", "shard",
-                      end_us >= dur ? end_us - dur : 0, dur);
+                      end_us >= dur ? end_us - dur : 0, dur,
+                      static_cast<std::int64_t>(id));
         }
         arrivals.records.push_back(std::move(*msg.record));
         if (!seen[id]) {
@@ -429,8 +716,20 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         report_progress();
         return true;
       }
+      case WireMessage::Type::kTelemetry: {
+        // A heartbeat: fold the delta into the slot's health entry.
+        // (A config line echoed back — seq < 0 — is just tolerated.)
+        if (msg.telemetry_seq < 0 || !msg.snapshot) return true;
+        WorkerHealth& h = health[slot_of(w)];
+        ++h.heartbeats;
+        h.last_seq = std::max(h.last_seq, msg.telemetry_seq);
+        h.telemetry.merge(*msg.snapshot);
+        m_heartbeats().add();
+        return true;
+      }
       case WireMessage::Type::kMetrics:
-        // A snapshot outside the shutdown handshake is harmless —
+      case WireMessage::Type::kTrace:
+        // A snapshot/trace outside the shutdown handshake is harmless —
         // telemetry must never kill a worker.
         return true;
       case WireMessage::Type::kCell:
@@ -462,10 +761,22 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         w.alive = true;
         w.busy = false;
         w.inbuf.clear();
+        w.last_heard = fresh.last_heard;
+        w.clock_offset_us = fresh.clock_offset_us;
+        health[i].respawns = w.respawns;
         m_workers_respawned().add();
+        log_event("worker_respawn",
+                  Json::object()
+                      .set("slot", static_cast<std::int64_t>(i))
+                      .set("pid", static_cast<std::int64_t>(w.pid))
+                      .set("attempt", static_cast<std::int64_t>(w.respawns)));
         std::fprintf(stderr,
                      "[shard] worker slot %zu respawned (attempt %d/%d)\n",
                      i, w.respawns, options.max_respawns);
+        if (!arm_telemetry(w)) {
+          write_off(w, "write failed");
+          continue;
+        }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "[shard] respawn of slot %zu failed: %s\n", i,
                      e.what());
@@ -492,6 +803,11 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       w.sent_at = std::chrono::steady_clock::now();
       m_cells_dispatched().add();
       m_queue_depth().set(static_cast<std::int64_t>(pending.size()));
+      log_event("cell_dispatch",
+                Json::object()
+                    .set("cell_index", static_cast<std::int64_t>(id))
+                    .set("slot",
+                         static_cast<std::int64_t>(slot_of(w))));
     }
 
     std::vector<pollfd> fds;
@@ -561,6 +877,20 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         timeout_ms = timeout_ms < 0 ? r : std::min(timeout_ms, r);
       }
     }
+    if (stale_enabled) {
+      // Staleness deadlines bound the poll too: a frozen worker must be
+      // noticed within ~heartbeat_stale_after even when nothing else
+      // ever wakes the coordinator.
+      const auto now = std::chrono::steady_clock::now();
+      for (const WorkerProc& w : workers) {
+        if (!w.alive) continue;
+        const long long remaining =
+            options.heartbeat_stale_after.count() -
+            age_ms(now, w.last_heard);
+        const int r = static_cast<int>(std::max<long long>(remaining, 0)) + 1;
+        timeout_ms = timeout_ms < 0 ? r : std::min(timeout_ms, r);
+      }
+    }
     ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
 
     for (std::size_t k = 0; k < fds.size(); ++k) {
@@ -575,6 +905,7 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         continue;
       }
       w.inbuf.append(chunk, static_cast<std::size_t>(n));
+      w.last_heard = std::chrono::steady_clock::now();
       bool ok = true;
       std::size_t nl;
       while (ok && (nl = w.inbuf.find('\n')) != std::string::npos) {
@@ -595,58 +926,161 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
         }
       }
     }
+    if (stale_enabled) {
+      // The health layer's write-off: no sign of life — heartbeat,
+      // result, anything — for heartbeat_stale_after. Unlike the
+      // watchdog this also catches a worker frozen BETWEEN cells, when
+      // nothing is outstanding.
+      const auto now = std::chrono::steady_clock::now();
+      for (WorkerProc& w : workers) {
+        if (!w.alive) continue;
+        const std::int64_t age = age_ms(now, w.last_heard);
+        if (age <= options.heartbeat_stale_after.count()) continue;
+        m_stale_writeoffs().add();
+        log_event("heartbeat_gap",
+                  Json::object()
+                      .set("slot",
+                           static_cast<std::int64_t>(slot_of(w)))
+                      .set("age_ms", age));
+        write_off(w, "heartbeat stale");
+      }
+    }
   }
 
-  // Shutdown. With worker_metrics requested, each live worker is asked
-  // (shutdown_line(true)) for one final metrics line and given a short
-  // deadline to deliver it — a worker that stalls is reaped like any
-  // other; telemetry never blocks teardown for long.
-  auto read_worker_metrics = [&](WorkerProc& w) {
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  // Shutdown + telemetry harvest. The shutdown line (with its opt-in
+  // metrics/trace requests) is sent to EVERY live worker up front, then
+  // one combined poll loop collects the replies under PER-WORKER
+  // deadlines running concurrently — total harvest wall time is ~max of
+  // the deadlines, not their sum, so one slow worker cannot starve the
+  // harvest of the rest. A worker that misses its own deadline counts
+  // one shard.snapshot_timeouts and is reaped like any other.
+  {
+    const bool want_metrics = options.worker_metrics != nullptr;
+    struct Pending {
+      bool expecting = false;
+      bool need_metrics = false;
+      bool need_trace = false;
+      std::optional<MetricsSnapshot> snapshot;
+      std::optional<Json> trace_doc;
+      std::chrono::steady_clock::time_point deadline{};
+    };
+    std::vector<Pending> awaiting(workers.size());
+    const auto send_deadline = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      WorkerProc& w = workers[i];
+      if (!w.alive) continue;
+      if (!send_line(w.fd, shutdown_line(want_metrics, want_worker_traces)) ||
+          (!want_metrics && !want_worker_traces)) {
+        continue;  // nothing to await from this worker
+      }
+      Pending& p = awaiting[i];
+      p.expecting = true;
+      p.need_metrics = want_metrics;
+      p.need_trace = want_worker_traces;
+      p.deadline = send_deadline + options.snapshot_deadline;
+    }
     for (;;) {
-      std::size_t nl;
-      while ((nl = w.inbuf.find('\n')) != std::string::npos) {
-        const std::string line = w.inbuf.substr(0, nl);
-        w.inbuf.erase(0, nl + 1);
-        try {
-          WireMessage msg = parse_wire_line(line);
-          if (msg.type == WireMessage::Type::kMetrics && msg.snapshot) {
-            options.worker_metrics->push_back(std::move(*msg.snapshot));
-            return;
+      // Drain buffered lines first, then poll only the still-owed fds.
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        Pending& p = awaiting[i];
+        if (!p.expecting) continue;
+        WorkerProc& w = workers[i];
+        std::size_t nl;
+        while (p.expecting &&
+               (nl = w.inbuf.find('\n')) != std::string::npos) {
+          const std::string line = w.inbuf.substr(0, nl);
+          w.inbuf.erase(0, nl + 1);
+          try {
+            WireMessage msg = parse_wire_line(line);
+            if (msg.type == WireMessage::Type::kMetrics && msg.snapshot) {
+              p.snapshot = std::move(*msg.snapshot);
+              p.need_metrics = false;
+            } else if (msg.type == WireMessage::Type::kTrace &&
+                       msg.trace_doc) {
+              p.trace_doc = std::move(*msg.trace_doc);
+              p.need_trace = false;
+            } else if (msg.type == WireMessage::Type::kTelemetry &&
+                       msg.telemetry_seq >= 0 && msg.snapshot) {
+              // A final heartbeat racing the shutdown: fold it.
+              WorkerHealth& h = health[i];
+              ++h.heartbeats;
+              h.last_seq = std::max(h.last_seq, msg.telemetry_seq);
+              h.telemetry.merge(*msg.snapshot);
+              m_heartbeats().add();
+            }
+            // Late results/errors racing the shutdown: skip.
+          } catch (const WireError&) {
+            m_garbage_lines().add();
           }
-          // Late results/errors racing the shutdown: skip, keep reading.
-        } catch (const WireError&) {
-          m_garbage_lines().add();
+          if (!p.need_metrics && !p.need_trace) p.expecting = false;
         }
       }
+      std::vector<pollfd> pfds;
+      std::vector<std::size_t> pown;
+      int timeout_ms = -1;
       const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) return;
-      const int timeout_ms = static_cast<int>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
-                                                                now)
-              .count() +
-          1);
-      pollfd pfd{w.fd, POLLIN, 0};
-      if (::poll(&pfd, 1, timeout_ms) <= 0) return;
-      char chunk[4096];
-      const ssize_t n = ::recv(w.fd, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return;  // EOF: worker died without a snapshot
-      w.inbuf.append(chunk, static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        Pending& p = awaiting[i];
+        if (!p.expecting) continue;
+        if (now >= p.deadline) {
+          p.expecting = false;
+          m_snapshot_timeouts().add();
+          continue;
+        }
+        pfds.push_back(pollfd{workers[i].fd, POLLIN, 0});
+        pown.push_back(i);
+        const int r = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                p.deadline - now)
+                .count() +
+            1);
+        timeout_ms = timeout_ms < 0 ? r : std::min(timeout_ms, r);
+      }
+      if (pfds.empty()) break;
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+      for (std::size_t k = 0; k < pfds.size(); ++k) {
+        if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        WorkerProc& w = workers[pown[k]];
+        char chunk[4096];
+        const ssize_t n = ::recv(w.fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          // EOF with replies still owed: the worker died mid-harvest.
+          awaiting[pown[k]].expecting = false;
+          continue;
+        }
+        w.inbuf.append(chunk, static_cast<std::size_t>(n));
+      }
     }
-  };
-
-  for (WorkerProc& w : workers) {
-    if (!w.alive) continue;
-    const bool want_metrics = options.worker_metrics != nullptr;
-    if (send_line(w.fd, shutdown_line(want_metrics)) && want_metrics) {
-      read_worker_metrics(w);
+    // Deliver in slot order, so the harvested vectors are deterministic
+    // regardless of reply arrival order.
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      Pending& p = awaiting[i];
+      if (p.snapshot && options.worker_metrics != nullptr) {
+        options.worker_metrics->push_back(std::move(*p.snapshot));
+      }
+      if (p.trace_doc && want_worker_traces) {
+        ProcessTrace pt;
+        pt.pid = static_cast<int>(i) + 2;  // pid 1 = coordinator
+        pt.name = "worker " + std::to_string(i);
+        pt.ts_offset_us = workers[i].clock_offset_us;
+        pt.doc = std::move(*p.trace_doc);
+        options.worker_traces->push_back(std::move(pt));
+      }
     }
-    close_fd(w.fd);
-    reap(w.pid, std::chrono::milliseconds(500));
-    w.pid = -1;
-    w.alive = false;
+    for (WorkerProc& w : workers) {
+      if (!w.alive) continue;
+      health[slot_of(w)].last_heard_age_ms =
+          age_ms(std::chrono::steady_clock::now(), w.last_heard);
+      log_event("worker_shutdown",
+                Json::object()
+                    .set("slot", static_cast<std::int64_t>(slot_of(w)))
+                    .set("cells_served", health[slot_of(w)].cells_served));
+      close_fd(w.fd);
+      reap(w.pid, std::chrono::milliseconds(500));
+      w.pid = -1;
+      w.alive = false;
+    }
   }
 
   // Degraded mode: every worker died with every respawn budget spent and
@@ -675,6 +1109,8 @@ Report run_sharded(const std::vector<ExperimentCell>& cells,
       report_progress();
     }
   }
+
+  if (options.health != nullptr) *options.health = std::move(health);
 
   Report merged = Report::merge({arrivals});
   merged.title = title;

@@ -12,6 +12,11 @@
 //     onto the surviving workers;
 //   * a worker whose outstanding cell overruns its own wall_limit plus
 //     the watchdog grace is SIGKILLed and treated the same;
+//   * with streaming telemetry armed (telemetry_interval > 0), every
+//     worker heartbeats on an interval and after each cell; a worker not
+//     heard from for heartbeat_stale_after — busy OR idle — is written
+//     off by heartbeat age, catching workers that freeze BETWEEN cells,
+//     which the per-cell watchdog cannot see;
 //   * a written-off worker's SLOT is respawned (fresh subprocess, same
 //     fault-injection quota) after a capped exponential backoff, up to
 //     max_respawns attempts per slot — transient churn shrinks the pool
@@ -36,6 +41,7 @@
 #include "src/dist/wire.h"
 #include "src/experiment/experiment.h"
 #include "src/experiment/record.h"
+#include "src/obs/spans.h"
 
 namespace mpcn {
 
@@ -44,13 +50,43 @@ struct WorkerOptions {
   // exit WITHOUT replying upon receiving the max_cells-th cell message,
   // simulating a worker crash with a cell in flight. 0 = serve forever.
   int max_cells = 0;
+  // Fault injection for the health layer (`mpcn worker --stop-after`):
+  // after REPLYING to the stop_after_cells-th cell, raise(SIGSTOP) —
+  // the worker freezes BETWEEN cells with nothing outstanding, exactly
+  // the silence only heartbeat staleness (not the per-cell watchdog)
+  // can detect. 0 = never.
+  int stop_after_cells = 0;
 };
 
 // Serve cells over `io` until shutdown or EOF: write hello, then answer
 // every cell line with a result line. Never crashes on bad input:
 // unparsable lines are answered with an error line; a cell that fails to
 // rebuild or execute yields a result whose record captures the error.
+// A telemetry config line arms the worker-side heartbeat streamer (see
+// wire.h); all writes — results, error lines and heartbeats — are
+// serialized on one mutex so lines never interleave.
 void run_worker_loop(LineIO& io, const WorkerOptions& options = {});
+
+// The coordinator's live view of one worker SLOT, fed by streaming
+// telemetry and filled in as the run progresses. Slots persist across
+// respawns (a fresh subprocess reuses its slot's entry). Sidecar-only,
+// like everything in src/obs: the Report never sees it.
+struct WorkerHealth {
+  int slot = -1;
+  std::int64_t heartbeats = 0;      // telemetry reports received
+  std::int64_t last_seq = -1;       // highest heartbeat seq seen
+  std::int64_t cells_served = 0;    // results received from this slot
+  // Age of the last sign of life (any bytes received, or spawn) when
+  // the slot was last examined: at write-off or teardown.
+  std::int64_t last_heard_age_ms = -1;
+  int respawns = 0;
+  bool written_off = false;
+  std::string write_off_reason;     // "" when never written off
+  // Folded heartbeat deltas: merge()-reconstructed running totals of
+  // the slot's process-local metrics (lost work of a dead worker stays
+  // lost, exactly like its shutdown snapshot would be).
+  MetricsSnapshot telemetry;
+};
 
 struct ShardOptions {
   int shards = 2;
@@ -62,6 +98,10 @@ struct ShardOptions {
   // WorkerOptions::max_cells (missing entries = 0). In exec mode the
   // equivalent is appending "--max-cells N" to worker_argv.
   std::vector<int> worker_max_cells;
+  // Fault injection for the health layer, fork mode: slot i freezes
+  // (SIGSTOP) after replying to its worker_stop_after[i]-th cell. In
+  // exec mode the equivalent is `mpcn worker --stop-after N`.
+  std::vector<int> worker_stop_after;
   // Watchdog: a worker whose outstanding cell has run for the cell's own
   // wall_limit PLUS this grace is presumed hung, SIGKILLed, and its cell
   // is requeued. Scaling with wall_limit means a cell the user allowed
@@ -94,6 +134,35 @@ struct ShardOptions {
   std::vector<MetricsSnapshot>* worker_metrics = nullptr;
   // Print a coarse progress heartbeat to stderr as results arrive.
   bool progress = false;
+  // Streaming telemetry: > 0 arms every worker's heartbeat (a telemetry
+  // config line sent at spawn and respawn) at this interval. Workers
+  // also beat immediately on arming and after every cell, so ≥ 1
+  // heartbeat arrives per worker even on an idle pool.
+  std::chrono::milliseconds telemetry_interval{0};
+  // Health write-off: with the heartbeat armed, a worker not heard from
+  // (no bytes of any kind) for this long is presumed frozen and written
+  // off — busy or idle. <= 0 disables; meaningless without
+  // telemetry_interval (an unarmed worker is rightfully silent between
+  // cells). Choose a multiple of telemetry_interval with headroom for
+  // scheduling noise.
+  std::chrono::milliseconds heartbeat_stale_after{0};
+  // Shutdown harvest: per-worker deadline for the final metrics/trace
+  // exchange. Deadlines run CONCURRENTLY (shutdown is sent to every
+  // live worker before any reply is awaited), so total harvest wall
+  // time is ~max, not sum; a worker that misses its own deadline counts
+  // one shard.snapshot_timeouts and starves nobody else.
+  std::chrono::milliseconds snapshot_deadline{2000};
+  // Non-null: harvest each live worker's span rings at shutdown
+  // (`"trace":true` on the shutdown line) and append one ProcessTrace
+  // per delivering worker, pid = slot + 2 (pid 1 is the coordinator),
+  // clocks aligned to the coordinator's trace_now_us origin. Feed the
+  // result plus the coordinator's own dump_trace_json() to
+  // merge_trace_docs for one Perfetto-loadable document. Also sets
+  // `"trace":true` on the telemetry config line so exec-mode workers
+  // (which start with tracing off) record spans at all.
+  std::vector<ProcessTrace>* worker_traces = nullptr;
+  // Non-null: filled with one WorkerHealth per slot at return.
+  std::vector<WorkerHealth>* health = nullptr;
 };
 
 // Run `cells` across worker subprocesses and merge the results into a

@@ -220,12 +220,13 @@ std::string result_line(std::int64_t id, const RunRecord& record) {
   return j.dump();
 }
 
-std::string shutdown_line(bool want_metrics) {
+std::string shutdown_line(bool want_metrics, bool want_trace) {
   Json j = Json::object();
   j.set("type", "shutdown");
   // Absent when false: a plain shutdown stays byte-identical to the
   // pre-telemetry protocol.
   if (want_metrics) j.set("metrics", true);
+  if (want_trace) j.set("trace", true);
   return j.dump();
 }
 
@@ -238,6 +239,47 @@ std::string error_line(const std::string& message) {
 std::string metrics_line(const MetricsSnapshot& snapshot) {
   Json j = Json::object();
   j.set("type", "metrics").set("snapshot", snapshot.to_json());
+  return j.dump();
+}
+
+std::string telemetry_request_line(std::int64_t interval_ms,
+                                   bool want_trace) {
+  Json j = Json::object();
+  j.set("type", "telemetry").set("interval_ms", interval_ms);
+  if (want_trace) j.set("trace", true);
+  return j.dump();
+}
+
+std::string telemetry_line(std::int64_t seq, std::int64_t now_us,
+                           const MetricsSnapshot& delta) {
+  Json j = Json::object();
+  j.set("type", "telemetry")
+      .set("seq", seq)
+      .set("now_us", now_us)
+      .set("delta", delta.to_json());
+  return j.dump();
+}
+
+std::string telemetry_line(std::int64_t seq, std::int64_t now_us,
+                           const std::string& delta_json) {
+  // Keep the byte layout of the Json-built overload: insertion order is
+  // preserved by dump(), so splicing text in the same field order yields
+  // an identical frame for an identical delta.
+  std::string out;
+  out.reserve(48 + delta_json.size());
+  out.append("{\"type\":\"telemetry\",\"seq\":");
+  out.append(std::to_string(seq));
+  out.append(",\"now_us\":");
+  out.append(std::to_string(now_us));
+  out.append(",\"delta\":");
+  out.append(delta_json);
+  out.push_back('}');
+  return out;
+}
+
+std::string trace_line(const Json& doc) {
+  Json j = Json::object();
+  j.set("type", "trace").set("trace", doc);
   return j.dump();
 }
 
@@ -295,9 +337,25 @@ WireMessage parse_wire_line(const std::string& line) {
     } else if (t == "shutdown") {
       msg.type = WireMessage::Type::kShutdown;
       if (const Json* m = j.find("metrics")) msg.want_metrics = m->as_bool();
+      if (const Json* tr = j.find("trace")) msg.want_trace = tr->as_bool();
     } else if (t == "metrics") {
       msg.type = WireMessage::Type::kMetrics;
       msg.snapshot = MetricsSnapshot::from_json(j.at("snapshot"));
+    } else if (t == "telemetry") {
+      msg.type = WireMessage::Type::kTelemetry;
+      if (const Json* seq = j.find("seq")) {
+        // Report (worker -> coordinator).
+        msg.telemetry_seq = seq->as_int();
+        msg.worker_now_us = j.at("now_us").as_int();
+        msg.snapshot = MetricsSnapshot::from_json(j.at("delta"));
+      } else {
+        // Config (coordinator -> worker).
+        msg.telemetry_interval_ms = j.at("interval_ms").as_int();
+        if (const Json* tr = j.find("trace")) msg.want_trace = tr->as_bool();
+      }
+    } else if (t == "trace") {
+      msg.type = WireMessage::Type::kTrace;
+      msg.trace_doc = j.at("trace");
     } else if (t == "error") {
       msg.type = WireMessage::Type::kError;
       msg.message = j.at("message").as_string();
@@ -335,13 +393,12 @@ bool FdLineIO::read_line(std::string& out) {
   }
 }
 
-bool FdLineIO::write_line(const std::string& line) {
-  std::string framed = line;
-  framed.push_back('\n');
+namespace {
+
+bool write_all(int fd, const std::string& framed) {
   std::size_t off = 0;
   while (off < framed.size()) {
-    const ssize_t n =
-        ::write(write_fd_, framed.data() + off, framed.size() - off);
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -349,6 +406,24 @@ bool FdLineIO::write_line(const std::string& line) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+}  // namespace
+
+bool FdLineIO::write_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  return write_all(write_fd_, framed);
+}
+
+bool FdLineIO::write_lines(const std::string& a, const std::string& b) {
+  std::string framed;
+  framed.reserve(a.size() + b.size() + 2);
+  framed.append(a);
+  framed.push_back('\n');
+  framed.append(b);
+  framed.push_back('\n');
+  return write_all(write_fd_, framed);
 }
 
 bool StringLineIO::read_line(std::string& out) {

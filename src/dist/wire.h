@@ -7,16 +7,34 @@
 //   coordinator -> worker   {"type":"cell","id":<i>,"spec":{...}}
 //   worker -> coordinator   {"type":"result","id":<i>,"record":{...}}
 //   coordinator -> worker   {"type":"shutdown"}
-//   coordinator -> worker   {"type":"shutdown","metrics":true}
+//   coordinator -> worker   {"type":"shutdown","metrics":true,"trace":true}
 //   worker -> coordinator   {"type":"metrics","snapshot":{...}}
+//   worker -> coordinator   {"type":"trace","trace":{...}}
 //   worker -> coordinator   {"type":"error","message":"..."}   (bad line)
 //
-// The metrics exchange is telemetry-only and opt-in: a plain shutdown
-// line is byte-identical to the pre-telemetry protocol and gets no
-// reply; "metrics":true asks the worker to answer with one snapshot
-// (src/obs/metrics.h) of its process-local counters before exiting, so
-// the coordinator can merge a pool-wide view. Reports never carry
-// metrics — the byte-identity discipline is untouched.
+// plus the streaming telemetry pair (both directions use one type):
+//
+//   coordinator -> worker   {"type":"telemetry","interval_ms":<n>[,"trace":true]}
+//   worker -> coordinator   {"type":"telemetry","seq":<k>,"now_us":<t>,
+//                            "delta":{...}}
+//
+// The config line arms a worker-side heartbeat: every interval_ms (and
+// after every cell) the worker volunteers a telemetry line carrying a
+// monotonically increasing heartbeat sequence number, its wall-clock
+// (trace_now_us) and a MetricsSnapshot DELTA since its previous beat —
+// the coordinator folds deltas by merge() to reconstruct totals and
+// keeps a per-worker health table keyed on heartbeat age. "trace":true
+// on the config line additionally enables span recording in the worker
+// so a later trace harvest has something to ship.
+//
+// The metrics/trace exchanges are telemetry-only and opt-in: a plain
+// shutdown line is byte-identical to the pre-telemetry protocol and
+// gets no reply; "metrics":true asks the worker to answer with one
+// snapshot (src/obs/metrics.h) of its process-local counters, and
+// "trace":true with one dump_trace_json() document (src/obs/spans.h),
+// before exiting — so the coordinator can merge a pool-wide view.
+// Reports never carry metrics — the byte-identity discipline is
+// untouched; every new field and message type is strictly additive.
 //
 // The framing is safe because Json::dump() escapes control characters —
 // a compact dump never contains a raw newline. Unparsable or truncated
@@ -116,7 +134,16 @@ struct CellSpec {
 // ------------------------------------------------------------- framing
 
 struct WireMessage {
-  enum class Type { kHello, kCell, kResult, kShutdown, kError, kMetrics };
+  enum class Type {
+    kHello,
+    kCell,
+    kResult,
+    kShutdown,
+    kError,
+    kMetrics,
+    kTelemetry,
+    kTrace,
+  };
   Type type = Type::kError;
   int protocol = 0;                 // kHello
   std::int64_t id = -1;             // kCell / kResult: coordinator cell id
@@ -124,7 +151,15 @@ struct WireMessage {
   std::optional<RunRecord> record;  // kResult (timing included)
   std::string message;              // kError
   bool want_metrics = false;        // kShutdown: reply with a snapshot
-  std::optional<MetricsSnapshot> snapshot;  // kMetrics
+  bool want_trace = false;          // kShutdown/kTelemetry cfg: spans too
+  // kTelemetry. A config line (coordinator -> worker) has seq < 0 and
+  // interval_ms > 0; a report line (worker -> coordinator) has seq >= 0,
+  // the worker's trace_now_us clock, and its delta in `snapshot`.
+  std::int64_t telemetry_seq = -1;
+  std::int64_t telemetry_interval_ms = 0;
+  std::int64_t worker_now_us = 0;
+  std::optional<MetricsSnapshot> snapshot;  // kMetrics / kTelemetry report
+  std::optional<Json> trace_doc;            // kTrace
 };
 
 // Encoders return the compact single-line JSON WITHOUT the trailing
@@ -132,11 +167,27 @@ struct WireMessage {
 std::string hello_line();
 std::string cell_line(std::int64_t id, const CellSpec& spec);
 std::string result_line(std::int64_t id, const RunRecord& record);
-// want_metrics = false emits the pre-telemetry {"type":"shutdown"}
-// bytes; true asks the worker for a metrics line before it exits.
-std::string shutdown_line(bool want_metrics = false);
+// want_metrics = want_trace = false emits the pre-telemetry
+// {"type":"shutdown"} bytes; the flags ask the worker for a metrics
+// and/or trace line before it exits.
+std::string shutdown_line(bool want_metrics = false, bool want_trace = false);
 std::string error_line(const std::string& message);
 std::string metrics_line(const MetricsSnapshot& snapshot);
+// Telemetry config (coordinator -> worker): arm the heartbeat at
+// interval_ms; want_trace also turns span recording on in the worker.
+std::string telemetry_request_line(std::int64_t interval_ms,
+                                   bool want_trace = false);
+// Telemetry report (worker -> coordinator): heartbeat `seq`, the
+// worker's trace_now_us clock, and a metrics delta since its last beat.
+std::string telemetry_line(std::int64_t seq, std::int64_t now_us,
+                           const MetricsSnapshot& delta);
+// Same line, but splicing a pre-serialized delta document (the compact
+// {"counters":...} JSON that MetricsRegistry::delta_json emits) —
+// the heartbeat fast path skips building a Json tree per beat.
+std::string telemetry_line(std::int64_t seq, std::int64_t now_us,
+                           const std::string& delta_json);
+// Trace reply (worker -> coordinator): a dump_trace_json() document.
+std::string trace_line(const Json& doc);
 
 // A short printable excerpt of a (possibly binary / overlong) wire line
 // for diagnostics: control bytes escaped, truncated to ~120 chars with
@@ -159,6 +210,12 @@ class LineIO {
   virtual bool read_line(std::string& out) = 0;
   // Appends '\n' and writes the whole line. False on error.
   virtual bool write_line(const std::string& line) = 0;
+  // Write two lines back to back; transports may coalesce them into one
+  // flush (FdLineIO: one syscall, one reader wakeup — what lets an
+  // after-cell heartbeat ride its result reply for free).
+  virtual bool write_lines(const std::string& a, const std::string& b) {
+    return write_line(a) && write_line(b);
+  }
 };
 
 class FdLineIO : public LineIO {
@@ -167,6 +224,7 @@ class FdLineIO : public LineIO {
       : read_fd_(read_fd), write_fd_(write_fd) {}
   bool read_line(std::string& out) override;
   bool write_line(const std::string& line) override;
+  bool write_lines(const std::string& a, const std::string& b) override;
 
  private:
   int read_fd_;

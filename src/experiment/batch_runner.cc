@@ -30,6 +30,11 @@ Report BatchRunner::run(const std::vector<ExperimentCell>& cells) const {
     shard.title = options_.title;
     shard.worker_metrics = options_.worker_metrics;
     shard.progress = options_.progress;
+    shard.telemetry_interval = options_.telemetry_interval;
+    shard.heartbeat_stale_after = options_.heartbeat_stale_after;
+    shard.worker_traces = options_.worker_traces;
+    shard.health = options_.health;
+    shard.worker_stop_after = options_.worker_stop_after;
     return run_sharded(cells, shard);
   }
   Report report;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/dist/shard.h"
 #include "src/experiment/experiment.h"
 #include "src/experiment/record.h"
 #include "src/obs/metrics.h"
@@ -55,6 +56,16 @@ struct BatchOptions {
   // completed-cells counter; the sharded backend prints on result
   // arrivals.
   bool progress = false;
+  // Health-layer passthrough to the sharded backend (see ShardOptions
+  // for semantics). All ignored by the in-process backend; all
+  // sidecar-only.
+  std::chrono::milliseconds telemetry_interval{0};
+  std::chrono::milliseconds heartbeat_stale_after{0};
+  std::vector<ProcessTrace>* worker_traces = nullptr;
+  std::vector<WorkerHealth>* health = nullptr;
+  // Fault injection for the health layer (ShardOptions::worker_stop_after):
+  // slot i freezes (SIGSTOP) after replying to worker_stop_after[i] cells.
+  std::vector<int> worker_stop_after;
 };
 
 class BatchRunner {

@@ -9,6 +9,7 @@
 #include "src/common/errors.h"
 #include "src/experiment/batch_runner.h"
 #include "src/history/history.h"
+#include "src/obs/events.h"
 #include "src/obs/progress.h"
 #include "src/obs/spans.h"
 #include "src/runtime/process_pool.h"
@@ -402,9 +403,29 @@ ExploreResult explore(const ExperimentCell& cell,
     m_violations().add();
     if (v.race) m_races().add();
     if (v.crashed) m_crash_violations().add();
+    // Flight recorder: violations are the events a post-mortem reader
+    // scans for first. One event per oracle dimension that fired.
+    log_event("violation_found",
+              Json::object()
+                  .set("schedule", static_cast<std::int64_t>(index))
+                  .set("why", v.why));
+    if (v.race) {
+      log_event("race_found", Json::object().set(
+                                  "schedule", static_cast<std::int64_t>(index)));
+    }
+    if (v.crashed) {
+      log_event("crash_violation_found",
+                Json::object().set("schedule",
+                                   static_cast<std::int64_t>(index)));
+    }
     if (rec.schedule_trace) v.trace = *rec.schedule_trace;
     v.record = std::move(rec);
     if (options.shrink_violations && !v.trace.empty()) {
+      log_event("shrink_begin",
+                Json::object()
+                    .set("schedule", static_cast<std::int64_t>(index))
+                    .set("trace_len",
+                         static_cast<std::int64_t>(v.trace.size())));
       ShrinkOptions so;
       so.max_replays = options.shrink_budget;
       so.spec = options.spec;
@@ -416,6 +437,14 @@ ExploreResult explore(const ExperimentCell& cell,
       v.shrunk_verified = sr.verified;
       v.shrink_replays = sr.replays;
       m_shrink_replays().add(static_cast<std::uint64_t>(sr.replays));
+      log_event("shrink_end",
+                Json::object()
+                    .set("schedule", static_cast<std::int64_t>(index))
+                    .set("shrunk_len",
+                         static_cast<std::int64_t>(v.shrunk.size()))
+                    .set("replays",
+                         static_cast<std::int64_t>(v.shrink_replays))
+                    .set("verified", v.shrunk_verified));
     } else {
       v.shrunk = v.trace;
     }
@@ -510,6 +539,11 @@ ExploreResult explore(const ExperimentCell& cell,
     batch.threads = options.threads;
     batch.worker_metrics = options.worker_metrics;
     batch.progress = options.progress;
+    batch.telemetry_interval = options.telemetry_interval;
+    batch.heartbeat_stale_after = options.heartbeat_stale_after;
+    batch.worker_traces = options.worker_traces;
+    batch.health = options.health;
+    batch.worker_stop_after = options.worker_stop_after;
     const Report report = BatchRunner(batch).run(cells);
     for (const RunRecord& rec : report.records) {
       ++result.schedules;

@@ -32,11 +32,13 @@
 // (threads > 1 falls back to the serial engine).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/dist/shard.h"
 #include "src/experiment/experiment.h"
 #include "src/explore/policy.h"
 #include "src/explore/trace.h"
@@ -116,6 +118,17 @@ struct ExploreOptions {
   // Non-null with shards > 0: collect one MetricsSnapshot per surviving
   // worker subprocess at pool shutdown (see ShardOptions::worker_metrics).
   std::vector<MetricsSnapshot>* worker_metrics = nullptr;
+  // Health-layer passthrough to the sharded backend (ShardOptions
+  // semantics): streaming heartbeat interval, heartbeat-age write-off
+  // threshold, span-ring harvest and the per-slot health table. All
+  // ignored without shards; all sidecar-only.
+  std::chrono::milliseconds telemetry_interval{0};
+  std::chrono::milliseconds heartbeat_stale_after{0};
+  std::vector<ProcessTrace>* worker_traces = nullptr;
+  std::vector<WorkerHealth>* health = nullptr;
+  // Fault injection for the health layer (ShardOptions::worker_stop_after):
+  // slot i freezes (SIGSTOP) after replying to worker_stop_after[i] cells.
+  std::vector<int> worker_stop_after;
 };
 
 struct ExploreViolation {

@@ -1,0 +1,75 @@
+#include "src/obs/events.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "src/obs/spans.h"
+
+namespace mpcn {
+
+namespace {
+
+std::atomic<bool> g_events_on{false};
+std::mutex g_events_mu;
+int g_events_fd = -1;  // guarded by g_events_mu
+
+}  // namespace
+
+bool events_enabled() {
+  return g_events_on.load(std::memory_order_relaxed);
+}
+
+bool open_event_log(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  if (g_events_fd >= 0) {
+    ::close(g_events_fd);
+    g_events_fd = -1;
+    g_events_on.store(false, std::memory_order_relaxed);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return false;
+  g_events_fd = fd;
+  g_events_on.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void close_event_log() {
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  if (g_events_fd >= 0) {
+    ::close(g_events_fd);
+    g_events_fd = -1;
+  }
+  g_events_on.store(false, std::memory_order_relaxed);
+}
+
+void log_event(const char* type, Json fields) {
+  if (!events_enabled()) return;
+  Json ev = Json::object();
+  ev.set("ts_us", static_cast<std::int64_t>(trace_now_us()));
+  ev.set("type", type);
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.members()) {
+      ev.set(key, value);
+    }
+  }
+  std::string line = ev.dump();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  if (g_events_fd < 0) return;  // closed between the check and here
+  // One write(2) per line: concurrent emitters never interleave bytes,
+  // and a crash mid-run loses at most the final partial line.
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    ssize_t n = ::write(g_events_fd, p, left);
+    if (n <= 0) return;  // best effort — never fail the run over the log
+    p += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace mpcn

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace mpcn {
 
@@ -27,6 +28,48 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
       mine.buckets[i] += h.buckets[i];
     }
   }
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& prev) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    auto it = prev.counters.find(name);
+    std::uint64_t base = it == prev.counters.end() ? 0 : it->second;
+    std::uint64_t diff = v > base ? v - base : 0;  // saturate across resets
+    if (diff != 0) d.counters[name] = diff;
+  }
+  for (const auto& [name, v] : gauges) {
+    auto it = prev.gauges.find(name);
+    std::int64_t base = it == prev.gauges.end() ? 0 : it->second;
+    if (v != base) d.gauges[name] = v - base;
+  }
+  for (const auto& [name, h] : histograms) {
+    const HistogramData* base = nullptr;
+    auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end()) base = &it->second;
+    HistogramData dh;
+    std::uint64_t bc = base ? base->count : 0;
+    std::uint64_t bs = base ? base->sum : 0;
+    dh.count = h.count > bc ? h.count - bc : 0;
+    dh.sum = h.sum > bs ? h.sum - bs : 0;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      std::uint64_t bb =
+          base && i < base->buckets.size() ? base->buckets[i] : 0;
+      std::uint64_t diff = h.buckets[i] > bb ? h.buckets[i] - bb : 0;
+      if (diff != 0) last = i + 1;
+    }
+    dh.buckets.reserve(last);
+    for (std::size_t i = 0; i < last; ++i) {
+      std::uint64_t bb =
+          base && i < base->buckets.size() ? base->buckets[i] : 0;
+      dh.buckets.push_back(h.buckets[i] > bb ? h.buckets[i] - bb : 0);
+    }
+    if (dh.count != 0 || dh.sum != 0 || !dh.buckets.empty()) {
+      d.histograms[name] = std::move(dh);
+    }
+  }
+  return d;
 }
 
 Json MetricsSnapshot::to_json() const {
@@ -118,6 +161,105 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.histograms[name] = std::move(data);
   }
   return snap;
+}
+
+namespace {
+
+// Metric names are controlled [a-z0-9._:-] identifiers (every call site
+// passes a literal), so keys need no escaping — but guard anyway: a name
+// that would break JSON framing gets its offending bytes dropped rather
+// than corrupting the wire line.
+void append_key(std::string& out, const std::string& name) {
+  out.push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.append("\":");
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+void MetricsRegistry::delta_json(MetricsSnapshot& prev,
+                                 std::string& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.clear();
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t v = c->value();
+    std::uint64_t& base = prev.counters[name];
+    const std::uint64_t diff = v > base ? v - base : 0;  // saturate
+    base = v;
+    if (diff == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    append_key(out, name);
+    append_int(out, static_cast<std::int64_t>(diff));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    const std::int64_t v = g->value();
+    std::int64_t& base = prev.gauges[name];
+    const std::int64_t diff = v - base;
+    base = v;
+    if (diff == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    append_key(out, name);
+    append_int(out, diff);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::uint64_t cur[Histogram::kBuckets];
+    std::uint64_t count = 0;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cur[i] = h->bucket(i);
+      count += cur[i];
+      if (cur[i] != 0) last = i + 1;
+    }
+    const std::uint64_t sum = h->sum();
+    MetricsSnapshot::HistogramData& base = prev.histograms[name];
+    const std::uint64_t dcount = count > base.count ? count - base.count : 0;
+    const std::uint64_t dsum = sum > base.sum ? sum - base.sum : 0;
+    std::size_t dlast = 0;
+    for (std::size_t i = 0; i < last; ++i) {
+      const std::uint64_t bb = i < base.buckets.size() ? base.buckets[i] : 0;
+      if (cur[i] > bb) dlast = i + 1;
+    }
+    if (dcount != 0 || dsum != 0 || dlast != 0) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_key(out, name);
+      out.append("{\"count\":");
+      append_int(out, static_cast<std::int64_t>(dcount));
+      out.append(",\"sum\":");
+      append_int(out, static_cast<std::int64_t>(dsum));
+      out.append(",\"buckets\":[");
+      for (std::size_t i = 0; i < dlast; ++i) {
+        const std::uint64_t bb = i < base.buckets.size() ? base.buckets[i] : 0;
+        if (i != 0) out.push_back(',');
+        append_int(out,
+                   static_cast<std::int64_t>(cur[i] > bb ? cur[i] - bb : 0));
+      }
+      out.append("]}");
+    }
+    base.count = count;
+    base.sum = sum;
+    base.buckets.assign(cur, cur + last);
+  }
+  out.append("}}");
 }
 
 void MetricsRegistry::reset() {

@@ -155,6 +155,15 @@ struct MetricsSnapshot {
   // aggregate to the same totals in any arrival order.
   void merge(const MetricsSnapshot& other);
 
+  // Field-wise difference against an earlier snapshot of the SAME
+  // process: what changed since `prev`. Counters and histogram fields
+  // are monotonic, so the difference saturates at zero rather than
+  // wrapping if `prev` is from after a reset. All-zero entries are
+  // dropped — a heartbeat delta carries only what moved, and folding
+  // deltas back with merge() reconstructs the cumulative totals. This
+  // is the payload of the wire's streaming telemetry message.
+  MetricsSnapshot delta_since(const MetricsSnapshot& prev) const;
+
   // Deterministic dump: keys sorted (std::map order), zero-valued
   // entries included — the metric catalog is part of the output.
   Json to_json() const;
@@ -173,6 +182,20 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
 
   MetricsSnapshot snapshot() const;
+
+  // The telemetry-heartbeat fast path: snapshot().delta_since(prev)
+  // serialized to compact JSON, fused into one pass over the registry
+  // with no intermediate snapshot, delta map or Json tree. `prev` is
+  // updated in place to the values just read (map nodes are reused
+  // after the first beat — metric names only ever grow), and `out` is
+  // clear()ed and refilled so its capacity amortizes across beats. The
+  // output parses back through MetricsSnapshot::from_json to exactly
+  // what delta_since would have produced: saturating counter/histogram
+  // diffs, signed gauge diffs, all-zero entries dropped, trailing zero
+  // buckets trimmed. Keeps a per-beat cost of a few relaxed loads per
+  // metric, which is what holds streamed-telemetry overhead under the
+  // bench gate on sub-millisecond cells.
+  void delta_json(MetricsSnapshot& prev, std::string& out) const;
 
   // Zero every registered metric (objects survive; cached references
   // stay valid). Used by tests and by freshly forked shard workers so a

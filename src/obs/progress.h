@@ -1,10 +1,15 @@
 // The --progress heartbeat: a sampling thread that prints
-// "[label] done/total unit (rate/s, eta Ns)" to stderr every half
-// second while a batch of work drains, plus a final line at completion.
+// "[label] done/total unit (rate/s, eta Ns)" to stderr while a batch of
+// work drains, plus a final line at completion.
 //
 // Sidecar-only like the rest of src/obs/: output goes to stderr, so
 // report streams and --json files never see it. Disabled meters are
 // inert — tick() is one relaxed increment, construction spawns nothing.
+// The heartbeat also self-suppresses when stderr is not a TTY (a
+// redirected CI log would otherwise fill with heartbeat spam); the
+// final completion line is dropped with it. Set MPCN_PROGRESS=1 to
+// force heartbeats through a redirect, and MPCN_PROGRESS_MS to change
+// the interval (default 500 ms).
 #pragma once
 
 #include <atomic>
@@ -15,11 +20,21 @@
 
 namespace mpcn {
 
+// True when progress output may be printed: stderr is a TTY, or the
+// env override MPCN_PROGRESS=1 forces it. Evaluated once per process.
+bool progress_allowed();
+
+// Heartbeat interval: MPCN_PROGRESS_MS when set to a positive integer,
+// else `fallback_ms`. Evaluated once per process.
+std::chrono::milliseconds progress_interval(int fallback_ms = 500);
+
 class ProgressMeter {
  public:
   // `label` and `unit` must outlive the meter (string literals).
+  // `enabled` is further gated by progress_allowed(); `interval_ms`
+  // (<= 0 means default) is overridden by MPCN_PROGRESS_MS.
   ProgressMeter(bool enabled, const char* label, const char* unit,
-                int total);
+                int total, int interval_ms = 0);
   ~ProgressMeter();
   ProgressMeter(const ProgressMeter&) = delete;
   ProgressMeter& operator=(const ProgressMeter&) = delete;
@@ -34,6 +49,7 @@ class ProgressMeter {
   const char* label_;
   const char* unit_;
   const int total_;
+  std::chrono::milliseconds interval_{500};
   std::atomic<int> completed_{0};
   std::chrono::steady_clock::time_point started_{};
   std::thread thread_;

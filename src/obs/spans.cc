@@ -16,6 +16,7 @@ struct SpanEvent {
   const char* category = nullptr;
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
+  std::int64_t cell_index = -1;  // < 0: no args object on export
 };
 
 // One thread's span ring. Owned by the global TraceRegistry (not the
@@ -85,12 +86,14 @@ std::uint64_t trace_now_us() {
 }
 
 void record_span(const char* name, const char* category,
-                 std::uint64_t start_us, std::uint64_t dur_us) {
+                 std::uint64_t start_us, std::uint64_t dur_us,
+                 std::int64_t cell_index) {
   SpanEvent ev;
   ev.name = name;
   ev.category = category;
   ev.start_us = start_us;
   ev.dur_us = dur_us;
+  ev.cell_index = cell_index;
   thread_ring().push(ev);
 }
 
@@ -125,12 +128,66 @@ Json dump_trace_json() {
         .set("dur", static_cast<std::int64_t>(r.ev.dur_us))
         .set("pid", 1)
         .set("tid", static_cast<std::int64_t>(r.tid));
+    if (r.ev.cell_index >= 0) {
+      Json args = Json::object();
+      args.set("cell_index", r.ev.cell_index);
+      e.set("args", std::move(args));
+    }
     events.push(std::move(e));
   }
   Json doc = Json::object();
   doc.set("traceEvents", std::move(events))
       .set("displayTimeUnit", "ms")
       .set("droppedEvents", static_cast<std::int64_t>(dropped));
+  return doc;
+}
+
+Json merge_trace_docs(const std::vector<ProcessTrace>& procs) {
+  struct Row {
+    Json ev;
+    std::int64_t ts = 0;
+    int pid = 0;
+    std::int64_t tid = 0;
+  };
+  std::vector<Row> rows;
+  std::int64_t dropped = 0;
+  Json events = Json::array();
+  // Metadata block first: one process_name label per contributing
+  // process, in input order (coordinator, then workers by slot).
+  for (const ProcessTrace& p : procs) {
+    const Json* evs = p.doc.find("traceEvents");
+    if (evs == nullptr || !evs->is_array()) continue;
+    Json args = Json::object();
+    args.set("name", p.name);
+    Json m = Json::object();
+    m.set("name", "process_name")
+        .set("ph", "M")
+        .set("pid", p.pid)
+        .set("tid", std::int64_t{0})
+        .set("args", std::move(args));
+    events.push(std::move(m));
+    if (const Json* d = p.doc.find("droppedEvents")) dropped += d->as_int();
+    for (const Json& src : evs->items()) {
+      Row r;
+      r.ev = src;  // copy, then re-stamp in place (key order preserved)
+      r.ts = src.at("ts").as_int() + p.ts_offset_us;
+      r.pid = p.pid;
+      r.tid = src.at("tid").as_int();
+      r.ev.set("ts", r.ts);
+      r.ev.set("pid", p.pid);
+      rows.push_back(std::move(r));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.pid != b.pid) return a.pid < b.pid;
+    return a.tid < b.tid;
+  });
+  for (Row& r : rows) events.push(std::move(r.ev));
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events))
+      .set("displayTimeUnit", "ms")
+      .set("droppedEvents", dropped);
   return doc;
 }
 

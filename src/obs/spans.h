@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/json.h"
 
@@ -35,21 +36,29 @@ std::uint64_t trace_now_us();
 // and `category` must be string literals (or otherwise outlive the
 // process). Used directly by sites that measure an interval without a
 // scope (e.g. the shard coordinator timing a cell round-trip).
+// `cell_index >= 0` attaches an `"args":{"cell_index":N}` object to the
+// exported event, letting a merged multi-process trace correlate a
+// coordinator-side `shard.cell` with the worker-side `worker.cell` that
+// executed the same cell.
 void record_span(const char* name, const char* category,
-                 std::uint64_t start_us, std::uint64_t dur_us);
+                 std::uint64_t start_us, std::uint64_t dur_us,
+                 std::int64_t cell_index = -1);
 
 // RAII span: measures construction -> destruction when tracing is on.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, const char* category = "mpcn") {
+  explicit ScopedSpan(const char* name, const char* category = "mpcn",
+                      std::int64_t cell_index = -1) {
     if (!tracing_enabled()) return;
     name_ = name;
     category_ = category;
+    cell_index_ = cell_index;
     start_us_ = trace_now_us();
   }
   ~ScopedSpan() {
     if (name_ == nullptr) return;
-    record_span(name_, category_, start_us_, trace_now_us() - start_us_);
+    record_span(name_, category_, start_us_, trace_now_us() - start_us_,
+                cell_index_);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -57,6 +66,7 @@ class ScopedSpan {
  private:
   const char* name_ = nullptr;  // nullptr = tracing was off at entry
   const char* category_ = nullptr;
+  std::int64_t cell_index_ = -1;
   std::uint64_t start_us_ = 0;
 };
 
@@ -70,5 +80,27 @@ Json dump_trace_json();
 // Drop all recorded spans (rings survive; tids are not reused). Tests
 // and repeated in-process runs use this between captures.
 void reset_trace();
+
+// ------------------------------------------------- multi-process merge
+
+// One process's contribution to a merged trace: the single-process
+// document produced by dump_trace_json() (local ts origin, pid 1),
+// plus the identity and clock alignment the merge needs.
+struct ProcessTrace {
+  int pid = 1;                     // pid lane in the merged document
+  std::string name;                // e.g. "coordinator", "worker 0"
+  std::int64_t ts_offset_us = 0;   // added to every ts (clock alignment)
+  Json doc;                        // a dump_trace_json() document
+};
+
+// Merge per-process dumps into one Perfetto-loadable document. Each
+// input's events are re-stamped with its pid and shifted by its
+// ts_offset_us; a `process_name` metadata event (ph "M") per process
+// labels the lane. X events are sorted by (ts, pid, tid) after the
+// metadata block, droppedEvents are summed, and inputs whose doc is not
+// a trace document (e.g. a worker that died before replying) are
+// skipped. Only the merged document carries "M" events — the
+// single-process dump_trace_json() format is unchanged.
+Json merge_trace_docs(const std::vector<ProcessTrace>& procs);
 
 }  // namespace mpcn

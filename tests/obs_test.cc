@@ -214,6 +214,57 @@ TEST(MetricsRegistry, SnapshotResetAndStableReferences) {
   EXPECT_EQ(&reg.counter("test.counter"), &c);
 }
 
+TEST(MetricsRegistry, DeltaJsonMatchesSnapshotDeltaSince) {
+  // The heartbeat fast path (delta_json) must emit byte-for-byte what
+  // the reference pipeline — snapshot(), delta_since(), to_json() —
+  // would have: same saturation, zero-dropping and bucket trimming.
+  MetricsRegistry reg;
+  reg.counter("a.count").add(5);
+  reg.gauge("a.gauge").set(7);
+  reg.histogram("a.hist").record(0);
+  reg.histogram("a.hist").record(9);
+
+  MetricsSnapshot prev_ref;       // reference pipeline's baseline
+  MetricsSnapshot prev_fast;      // fast path's in-place baseline
+  std::string out;
+
+  // Beat 1: everything moved since the (empty) baseline.
+  MetricsSnapshot snap = reg.snapshot();
+  std::string want = snap.delta_since(prev_ref).to_json().dump();
+  reg.delta_json(prev_fast, out);
+  EXPECT_EQ(out, want);
+  prev_ref = snap;
+
+  // Beat 2: nothing moved — delta is empty, zero rows dropped.
+  reg.delta_json(prev_fast, out);
+  EXPECT_EQ(out, reg.snapshot().delta_since(prev_ref).to_json().dump());
+  EXPECT_TRUE(MetricsSnapshot::from_json(Json::parse(out)).empty());
+
+  // Beat 3: mixed movement — counter up, gauge DOWN (signed diff),
+  // histogram gains a low bucket only (trailing buckets trimmed).
+  reg.counter("a.count").add(1);
+  reg.gauge("a.gauge").set(-2);
+  reg.histogram("a.hist").record(1);
+  snap = reg.snapshot();
+  reg.delta_json(prev_fast, out);
+  EXPECT_EQ(out, snap.delta_since(prev_ref).to_json().dump());
+  prev_ref = snap;
+
+  // Beat 4: a reset makes current < baseline — counters and histogram
+  // fields saturate at zero instead of wrapping, gauges go signed.
+  reg.reset();
+  reg.counter("a.count").add(7);  // 7 > pre-reset total 6: diff is 1
+  snap = reg.snapshot();
+  reg.delta_json(prev_fast, out);
+  EXPECT_EQ(out, snap.delta_since(prev_ref).to_json().dump());
+
+  // And every emission parses back through the wire-side decoder. The
+  // histogram (0 < pre-reset 3) saturated to an all-zero row — dropped.
+  MetricsSnapshot parsed = MetricsSnapshot::from_json(Json::parse(out));
+  EXPECT_EQ(parsed.counters.at("a.count"), 1u);
+  EXPECT_TRUE(parsed.histograms.empty());
+}
+
 // ----------------------------------------------------------------- spans
 
 TEST(Spans, CapturesIntervalsOnlyWhenEnabled) {

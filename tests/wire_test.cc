@@ -310,6 +310,77 @@ TEST(WireTelemetry, WorkerShipsSnapshotOnRequest) {
   EXPECT_GE(it->second, 1u);
 }
 
+TEST(WireTelemetry, TelemetryConfigAndReportLinesRoundTrip) {
+  // Config (coordinator -> worker): arm the heartbeat, optionally with
+  // span recording for exec-mode workers. No "seq" field marks it as a
+  // config rather than a report.
+  const WireMessage cfg = parse_wire_line(telemetry_request_line(250));
+  ASSERT_EQ(cfg.type, WireMessage::Type::kTelemetry);
+  EXPECT_EQ(cfg.telemetry_interval_ms, 250);
+  EXPECT_EQ(cfg.telemetry_seq, -1);
+  EXPECT_FALSE(cfg.want_trace);
+  EXPECT_TRUE(parse_wire_line(telemetry_request_line(100, true)).want_trace);
+
+  // Report (worker -> coordinator): seq + worker clock + metrics delta.
+  MetricsSnapshot delta;
+  delta.counters["worker.cells_served"] = 3;
+  const std::string line = telemetry_line(7, 123456789, delta);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // framing-safe
+  const WireMessage rep = parse_wire_line(line);
+  ASSERT_EQ(rep.type, WireMessage::Type::kTelemetry);
+  EXPECT_EQ(rep.telemetry_seq, 7);
+  EXPECT_EQ(rep.worker_now_us, 123456789);
+  ASSERT_TRUE(rep.snapshot.has_value());
+  EXPECT_EQ(rep.snapshot->to_json().dump(), delta.to_json().dump());
+}
+
+TEST(WireTelemetry, TraceLineAndShutdownTraceFlagRoundTrip) {
+  Json doc = Json::object();
+  doc.set("traceEvents", Json::array());
+  doc.set("displayTimeUnit", "ms");
+  const std::string line = trace_line(doc);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const WireMessage msg = parse_wire_line(line);
+  ASSERT_EQ(msg.type, WireMessage::Type::kTrace);
+  ASSERT_TRUE(msg.trace_doc.has_value());
+  EXPECT_EQ(msg.trace_doc->dump(), doc.dump());
+
+  EXPECT_FALSE(parse_wire_line(shutdown_line(true)).want_trace);
+  const WireMessage both = parse_wire_line(shutdown_line(true, true));
+  EXPECT_TRUE(both.want_metrics);
+  EXPECT_TRUE(both.want_trace);
+  // Strictly additive: plain and metrics-only shutdown bytes unchanged.
+  EXPECT_EQ(shutdown_line(false, false), shutdown_line());
+}
+
+TEST(WireTelemetry, ArmedWorkerStreamsHeartbeats) {
+  Experiment e = Experiment::named("trivial_kset", ModelSpec{3, 1, 1});
+  e.direct().inputs({Value(0), Value(1), Value(2)});
+  const CellSpec spec = CellSpec::from_cell(e.cells().at(0));
+  // A huge interval: only the arm-beat and the per-cell beat fire, so
+  // the line count is deterministic — no timer races in the pin.
+  StringLineIO io({telemetry_request_line(60'000), cell_line(0, spec),
+                   shutdown_line()});
+  run_worker_loop(io);
+
+  // hello, arm-beat (seq 0), result, post-cell beat (seq 1).
+  ASSERT_EQ(io.written().size(), 4u);
+  const WireMessage arm_beat = parse_wire_line(io.written()[1]);
+  ASSERT_EQ(arm_beat.type, WireMessage::Type::kTelemetry);
+  EXPECT_EQ(arm_beat.telemetry_seq, 0);
+  EXPECT_EQ(parse_wire_line(io.written()[2]).type,
+            WireMessage::Type::kResult);
+  const WireMessage cell_beat = parse_wire_line(io.written()[3]);
+  ASSERT_EQ(cell_beat.type, WireMessage::Type::kTelemetry);
+  EXPECT_EQ(cell_beat.telemetry_seq, 1);
+  EXPECT_GE(cell_beat.worker_now_us, arm_beat.worker_now_us);
+  // The post-cell delta carries the work that happened since arming.
+  ASSERT_TRUE(cell_beat.snapshot.has_value());
+  const auto it = cell_beat.snapshot->counters.find("worker.cells_served");
+  ASSERT_NE(it, cell_beat.snapshot->counters.end());
+  EXPECT_GE(it->second, 1u);
+}
+
 TEST(WireTelemetry, GarbageErrorsCarryAnExcerpt) {
   try {
     parse_wire_line("this is not json \x01");

@@ -101,4 +101,16 @@ fi
 echo "== validate_benches.py"
 python3 "$ROOT/tools/validate_benches.py" "$ROOT"
 
+# --- events flight-recorder schema gate: a tiny sharded run writes a
+# REAL log (spawn -> dispatch -> shutdown per worker), and
+# validate_events.py pins its schema — so the recorder and the validator
+# cannot drift apart without this script failing.
+echo "== validate_events.py"
+EVENTS_TMP="$(mktemp /tmp/mpcn_events.XXXXXX.jsonl)"
+trap 'rm -f "$EVENTS_TMP"' EXIT
+"$BUILD/mpcn" run snapshot_churn --in 3,0,1 --inputs 10,11,12 --seeds 1..4 \
+    --shards 2 --fork-workers --telemetry-ms 25 --events "$EVENTS_TMP" \
+    > /dev/null
+python3 "$ROOT/tools/validate_events.py" "$EVENTS_TMP" --expect-workers 2
+
 echo "wrote $(ls "$ROOT"/BENCH_*.json | xargs -n1 basename | tr '\n' ' ')"

@@ -71,7 +71,15 @@ def validate_explore_throughput(errors, path, doc):
         fail(errors, path, "'rows' must be a non-empty list")
         return
     for i, row in enumerate(rows):
-        if "replay_overhead_x" in row:
+        if "telemetry_overhead_x" in row:
+            # streaming-telemetry overhead row (sharded off vs on; the
+            # gated ratio is CPU time, wall is context)
+            require_keys(errors, path, row,
+                         ("name", "plain_cpu_ms", "telemetry_cpu_ms",
+                          "plain_wall_ms", "telemetry_wall_ms",
+                          "telemetry_overhead_x", "beat_cost_us", "reps"),
+                         where=f"rows[{i}]")
+        elif "replay_overhead_x" in row:
             # replay-overhead comparison row
             require_keys(errors, path, row,
                          ("name", "native_wall_ms", "replay_wall_ms",

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate an --events flight-recorder JSONL log against its schema.
+
+The flight recorder (src/obs/events) is an append-only JSONL file written
+by the shard coordinator and the explorer: one JSON object per line, each
+carrying a shared-clock timestamp, a type, and that type's fields. CI
+feeds real run logs through this script so schema drift (a renamed field,
+a type emitted without its payload, interleaved torn lines) fails loudly
+instead of silently rotting the `mpcn events` summaries.
+
+Usage:
+    tools/validate_events.py LOG.jsonl [--expect-workers N]
+
+Checks:
+  * every line parses as a JSON object with int `ts_us` >= 0 and a known
+    string `type`;
+  * each type carries its required fields with the right JSON kinds;
+  * timestamps are non-decreasing (one writer, one clock);
+  * with --expect-workers N: slots 0..N-1 each have a worker_spawn, at
+    least one cell_dispatch, and a terminal worker_shutdown or
+    worker_death — the spawn -> dispatch -> shutdown lifeline.
+
+Exits 0 when the log validates, 1 on any violation.
+"""
+
+import argparse
+import json
+import sys
+
+INT = int
+STR = str
+BOOL = bool
+
+# type -> {field: kind}; every event also carries ts_us + type.
+SCHEMA = {
+    "worker_spawn": {"slot": INT, "pid": INT},
+    "worker_death": {"slot": INT, "reason": STR},
+    "worker_respawn": {"slot": INT, "pid": INT, "attempt": INT},
+    "worker_backoff": {"slot": INT, "delay_ms": INT},
+    "worker_shutdown": {"slot": INT, "cells_served": INT},
+    "heartbeat_gap": {"slot": INT, "age_ms": INT},
+    "cell_dispatch": {"cell_index": INT, "slot": INT},
+    "cell_requeue": {"cell_index": INT, "slot": INT},
+    "violation_found": {"schedule": INT, "why": STR},
+    "race_found": {"schedule": INT},
+    "crash_violation_found": {"schedule": INT},
+    "shrink_begin": {"schedule": INT, "trace_len": INT},
+    "shrink_end": {"schedule": INT, "shrunk_len": INT, "replays": INT,
+                   "verified": BOOL},
+}
+
+
+def kind_ok(value, kind):
+    if kind is INT:
+        # bool is an int subclass in Python; an event field that should
+        # be a count must not validate as true/false.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind is BOOL:
+        return isinstance(value, bool)
+    return isinstance(value, str)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("log", help="--events JSONL file to validate")
+    ap.add_argument("--expect-workers", type=int, default=0, metavar="N",
+                    help="require a spawn -> dispatch -> shutdown/death "
+                         "lifeline for slots 0..N-1")
+    args = ap.parse_args(argv[1:])
+
+    errors = []
+    counts = {}
+    last_ts = -1
+    spawned, dispatched, terminated = set(), set(), set()
+
+    try:
+        with open(args.log, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {args.log}: {e}", file=sys.stderr)
+        return 1
+
+    for n, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {n}: blank line (the log is append-only "
+                          f"JSONL, one event per line)")
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {n}: invalid JSON: {e}")
+            continue
+        if not isinstance(ev, dict):
+            errors.append(f"line {n}: not a JSON object")
+            continue
+        ts = ev.get("ts_us")
+        if not kind_ok(ts, INT) or ts < 0:
+            errors.append(f"line {n}: missing/invalid 'ts_us'")
+        else:
+            if ts < last_ts:
+                errors.append(f"line {n}: ts_us went backward "
+                              f"({ts} < {last_ts}) — one writer, one "
+                              f"clock: timestamps must be non-decreasing")
+            last_ts = ts
+        etype = ev.get("type")
+        if not isinstance(etype, str):
+            errors.append(f"line {n}: missing/invalid 'type'")
+            continue
+        counts[etype] = counts.get(etype, 0) + 1
+        fields = SCHEMA.get(etype)
+        if fields is None:
+            errors.append(f"line {n}: unknown event type '{etype}'")
+            continue
+        for field, kind in fields.items():
+            if field not in ev:
+                errors.append(f"line {n}: {etype} missing '{field}'")
+            elif not kind_ok(ev[field], kind):
+                errors.append(f"line {n}: {etype} field '{field}' has "
+                              f"wrong kind ({ev[field]!r})")
+        slot = ev.get("slot")
+        if etype == "worker_spawn":
+            spawned.add(slot)
+        elif etype == "cell_dispatch":
+            dispatched.add(slot)
+        elif etype in ("worker_shutdown", "worker_death"):
+            terminated.add(slot)
+
+    for slot in range(args.expect_workers):
+        if slot not in spawned:
+            errors.append(f"slot {slot}: no worker_spawn event")
+        if slot not in dispatched:
+            errors.append(f"slot {slot}: no cell_dispatch event")
+        if slot not in terminated:
+            errors.append(f"slot {slot}: no worker_shutdown/worker_death "
+                          f"event — the lifeline never closed")
+
+    total = sum(counts.values())
+    for etype in sorted(counts):
+        print(f"{counts[etype]:>6}  {etype}")
+    if errors:
+        print(f"\n{len(errors)} validation error(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    if total == 0:
+        print("error: empty log — nothing validated", file=sys.stderr)
+        return 1
+    print(f"{args.log}: {total} event(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
